@@ -1,0 +1,56 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artifact and prints the series the
+paper plots (run with ``-s`` to see the tables).  Absolute numbers depend
+on the synthetic substrate; the assertions check the *shape* of each
+result — who wins, how trends move — which is what the reproduction
+claims (see EXPERIMENTS.md).
+
+Scale is selected with ``REPRO_BENCH_SCALE`` (``tiny`` | ``small`` |
+``paper``); the default ``small`` keeps the whole suite at a few minutes
+while preserving every qualitative result.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+def mre_by_method(
+    rows: Sequence[Mapping[str, object]], **conditions
+) -> Dict[str, float]:
+    """Mean MRE per method over the rows matching ``conditions``."""
+    acc: Dict[str, List[float]] = {}
+    for row in rows:
+        if all(row.get(k) == v for k, v in conditions.items()):
+            acc.setdefault(str(row["method"]), []).append(float(row["mre"]))
+    return {m: float(np.mean(v)) for m, v in acc.items()}
+
+
+def assert_method_beats(
+    mres: Mapping[str, float], winner: str, loser: str, factor: float = 1.0
+) -> None:
+    """Assert ``winner`` has at most ``1/factor`` of ``loser``'s MRE."""
+    assert winner in mres and loser in mres, sorted(mres)
+    assert mres[winner] * factor <= mres[loser], (
+        f"expected {winner} (MRE {mres[winner]:.2f}) to beat {loser} "
+        f"(MRE {mres[loser]:.2f}) by factor {factor}"
+    )
+
+
+def assert_decreasing(values: Sequence[float], label: str, slack: float = 1.0) -> None:
+    """Assert the sequence trends downward (first > last, with slack)."""
+    assert values[0] * slack >= values[-1], (
+        f"{label}: expected a decreasing trend, got {list(values)}"
+    )

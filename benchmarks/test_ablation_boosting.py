@@ -1,0 +1,66 @@
+"""Ablation A4 — hierarchical consistency boosting for DAF trees.
+
+An extension beyond the paper: DAF pays budget for every internal node's
+count but publishes only the leaves; constrained inference (Hay et al.
+2010, generalized to non-uniform fanout/budgets) folds those estimates
+back in.  This ablation measures the trade-off at the paper's budgets:
+consistency sharpens large-range queries (which aggregate many leaves
+and benefit from the coarse levels' information) at some cost on
+small/random queries, where redistributing parent residuals perturbs
+individually-accurate leaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import get_city
+from repro.experiments import MethodSpec, aggregate_rows, pivot, run_methods
+from repro.queries import fixed_coverage_workload, random_workload
+
+from .conftest import mre_by_method
+
+
+@pytest.fixture(scope="module")
+def rows(scale):
+    matrix = get_city("new_york").population_matrix(
+        n_points=scale.n_points, resolution=scale.city_resolution, rng=0
+    )
+    workloads = [
+        random_workload(matrix.shape, scale.n_queries, rng=1, name="random"),
+        fixed_coverage_workload(matrix.shape, 0.10, scale.n_queries, rng=2,
+                                name="10%"),
+    ]
+    specs = [
+        MethodSpec.of("daf_entropy"),
+        MethodSpec.of("daf_entropy", tree_consistency=True),
+    ]
+    raw = run_methods(matrix, specs, [0.1, 0.3], workloads,
+                      n_trials=max(3, scale.n_trials), rng=3)
+    return aggregate_rows(raw)
+
+
+def test_regenerate_ablation(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+
+
+def test_print_table(rows):
+    for workload in ("random", "10%"):
+        subset = [r for r in rows if r["workload"] == workload]
+        print()
+        print(pivot(subset, "epsilon", "method",
+                    title=f"[A4] DAF consistency boosting, workload={workload}"))
+
+
+def test_boosting_cost_on_random_queries_bounded(rows):
+    """The small-query trade-off must stay bounded."""
+    mres = mre_by_method(rows, workload="random")
+    plain = mres["daf_entropy"]
+    boosted = mres["daf_entropy(tree_consistency=True)"]
+    assert boosted <= plain * 2.0
+
+
+def test_boosting_helps_large_ranges(rows):
+    """Large-coverage queries aggregate many leaves: the consistent tree
+    must not lose there (it typically wins)."""
+    mres = mre_by_method(rows, workload="10%")
+    assert mres["daf_entropy(tree_consistency=True)"] <= mres["daf_entropy"] * 1.05

@@ -1,0 +1,50 @@
+"""Ablation A1 — DAF per-level budget allocation: geometric (Eq. 32)
+versus uniform.
+
+DESIGN.md calls out the geometric allocation as a load-bearing design
+choice: deeper levels (whose leaves are published) must receive more
+budget.  This ablation measures both allocations on a city histogram.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import get_city
+from repro.experiments import MethodSpec, aggregate_rows, pivot, run_methods
+from repro.queries import random_workload
+
+from .conftest import mre_by_method
+
+
+@pytest.fixture(scope="module")
+def rows(scale):
+    matrix = get_city("new_york").population_matrix(
+        n_points=scale.n_points, resolution=scale.city_resolution, rng=0
+    )
+    workload = random_workload(matrix.shape, scale.n_queries, rng=1)
+    specs = [
+        MethodSpec.of("daf_entropy"),
+        MethodSpec.of("daf_entropy", allocation="uniform"),
+    ]
+    raw = run_methods(matrix, specs, [0.1, 0.3], [workload],
+                      n_trials=max(3, scale.n_trials), rng=2)
+    return aggregate_rows(raw)
+
+
+def test_regenerate_ablation(benchmark, scale, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+
+
+def test_print_table(rows):
+    print()
+    print(pivot(rows, "epsilon", "method",
+                title="[A1] DAF budget allocation ablation (MRE %)"))
+
+
+def test_geometric_not_worse(rows):
+    """The optimal allocation must not lose to the uniform baseline by a
+    meaningful margin (averaged over budgets)."""
+    mres = mre_by_method(rows)
+    geo = mres["daf_entropy"]
+    uni = mres["daf_entropy(allocation=uniform)"]
+    assert geo <= uni * 1.5

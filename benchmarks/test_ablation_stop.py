@@ -1,0 +1,80 @@
+"""Ablation A3 — DAF stop conditions (paper Section 4.2).
+
+The paper prunes subtrees when the sanitized count falls below a
+threshold to 'avoid over-partitioning which can lead to large errors in
+higher dimensional frequency matrices'.  This ablation compares never
+stopping against threshold variants on a sparse 4-D OD matrix, where the
+effect is strongest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import get_city, simulate_od_dataset
+from repro.experiments import MethodSpec, aggregate_rows, pivot, run_methods
+from repro.methods import CountThreshold, DAFEntropy, NeverStop, NoiseAdaptiveThreshold
+from repro.queries import WorkloadEvaluator, random_workload
+
+
+@pytest.fixture(scope="module")
+def od_matrix(scale):
+    city = get_city("detroit")
+    dataset = simulate_od_dataset(city, scale.n_trajectories, n_stops=0, rng=0)
+    from repro.trajectories import ODMatrixBuilder
+    return ODMatrixBuilder(city.grid, cell_budget=scale.od_cell_budget).build(dataset)
+
+
+@pytest.fixture(scope="module")
+def rows(od_matrix, scale):
+    workload = random_workload(od_matrix.shape, scale.n_queries, rng=1)
+    evaluator = WorkloadEvaluator(od_matrix)
+    conditions = {
+        "never": NeverStop(),
+        "adaptive_x2": NoiseAdaptiveThreshold(2.0),
+        "adaptive_x8": NoiseAdaptiveThreshold(8.0),
+        "count_50": CountThreshold(50.0),
+    }
+    out = []
+    for label, cond in conditions.items():
+        mres, parts = [], []
+        for seed in range(3):
+            method = DAFEntropy(stop_condition=cond)
+            private = method.sanitize(od_matrix, 0.1, np.random.default_rng(seed))
+            mres.append(evaluator.evaluate(
+                private, workload).mre)
+            parts.append(private.n_partitions)
+        out.append({
+            "stop": label,
+            "epsilon": 0.1,
+            "mre": float(np.mean(mres)),
+            "n_partitions": float(np.mean(parts)),
+        })
+    return out
+
+
+def test_regenerate_ablation(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+
+
+def test_print_table(rows):
+    from repro.experiments import format_table
+    print()
+    print(format_table(rows, ["stop", "mre", "n_partitions"],
+                       title="[A3] stop-condition ablation, 4-D OD, eps=0.1"))
+
+
+def test_stopping_reduces_partitions(rows):
+    by_label = {r["stop"]: r for r in rows}
+    assert by_label["adaptive_x8"]["n_partitions"] <= by_label["never"]["n_partitions"]
+
+
+def test_stopping_helps_on_sparse_od(rows):
+    """Pruning must not hurt badly — and typically helps — on sparse
+    high-dimensional data (the paper's motivation for stop conditions)."""
+    by_label = {r["stop"]: r for r in rows}
+    best_stopping = min(
+        by_label["adaptive_x2"]["mre"],
+        by_label["adaptive_x8"]["mre"],
+        by_label["count_50"]["mre"],
+    )
+    assert best_stopping <= by_label["never"]["mre"] * 1.2

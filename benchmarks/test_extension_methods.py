@@ -1,0 +1,78 @@
+"""Extension-method benchmark: AG, Privlet, quadtree, kd-tree versus the
+paper's method set on a 2-D city histogram.
+
+Not a paper artifact — the paper only cites these methods; this bench
+places them on the same axes so downstream users can judge the full
+landscape (and so regressions in the extensions are visible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import get_city
+from repro.experiments import aggregate_rows, default_method_specs, pivot, run_methods
+from repro.queries import fixed_coverage_workload, random_workload
+
+from .conftest import mre_by_method
+
+ALL = ["identity", "uniform", "eug", "ebp", "mkm",
+       "daf_entropy", "daf_homogeneity", "ag", "privlet", "kdtree",
+       "hilbert1d"]
+
+
+@pytest.fixture(scope="module")
+def rows(scale):
+    matrix = get_city("new_york").population_matrix(
+        n_points=scale.n_points, resolution=scale.city_resolution, rng=0
+    )
+    workloads = [
+        random_workload(matrix.shape, scale.n_queries, rng=1, name="random"),
+        fixed_coverage_workload(matrix.shape, 0.05, scale.n_queries, rng=2,
+                                name="5%"),
+    ]
+    raw = run_methods(matrix, default_method_specs(ALL), [0.1, 0.5],
+                      workloads, n_trials=scale.n_trials, rng=3)
+    return aggregate_rows(raw)
+
+
+def test_regenerate_extension_comparison(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+
+
+def test_print_table(rows):
+    for workload in ("random", "5%"):
+        subset = [r for r in rows if r["workload"] == workload]
+        print()
+        print(pivot(subset, "epsilon", "method",
+                    title=f"[EXT] all methods, NY city, workload={workload}"))
+
+
+def test_ag_beats_plain_identity(rows):
+    """AG's two-level refinement must clearly improve on IDENTITY."""
+    mres = mre_by_method(rows, workload="random", epsilon=0.1)
+    assert mres["ag"] < mres["identity"]
+
+
+def test_adaptive_family_leads(rows):
+    """Some adaptive method (EBP/DAF/AG) must lead every workload."""
+    for workload in ("random", "5%"):
+        mres = mre_by_method(rows, workload=workload, epsilon=0.1)
+        adaptive_best = min(mres["ebp"], mres["daf_entropy"],
+                            mres["daf_homogeneity"], mres["ag"])
+        baseline_best = min(mres["identity"], mres["uniform"], mres["mkm"])
+        assert adaptive_best < baseline_best
+
+
+def test_kdtree_between_extremes(rows):
+    """The kd-tree should beat the UNIFORM baseline on skewed data."""
+    mres = mre_by_method(rows, workload="random", epsilon=0.1)
+    assert mres["kdtree"] < mres["uniform"]
+
+
+def test_dimensionality_reduction_trails_native(rows):
+    """Section 5's motivation, measured: the Morton-curve 1-D reduction
+    must trail the best native multi-dimensional partitioner on range
+    workloads (it breaks proximity semantics)."""
+    mres = mre_by_method(rows, workload="5%", epsilon=0.1)
+    native_best = min(mres["ebp"], mres["daf_entropy"], mres["eug"])
+    assert native_best < mres["hilbert1d"]

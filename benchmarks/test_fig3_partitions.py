@@ -1,0 +1,73 @@
+"""Benchmark F3 — paper Figure 3: the partitioning-intuition visualization.
+
+The paper renders a Los Angeles heat map (500 k Veraset points) overlaid
+with the level-1 (green) and level-2 (yellow) DAF cuts, versus the uniform
+grid of non-adaptive methods.  We regenerate the three panels as ASCII and
+assert the *adaptivity* they illustrate: DAF places more cuts where the
+density is, while the non-adaptive grid spaces cuts evenly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import los_angeles_like
+from repro.methods import DAFEntropy, DAFHomogeneity, EBP, NeverStop
+from repro.viz import ascii_partition_overlay, render_grid_partitioning
+
+
+@pytest.fixture(scope="module")
+def city_matrix(scale):
+    # The paper samples 500 k points for this figure; scale accordingly.
+    n = min(500_000, scale.n_points)
+    return los_angeles_like().population_matrix(
+        n_points=n, resolution=scale.city_resolution, rng=3
+    )
+
+
+def test_regenerate_figure3(benchmark, city_matrix):
+    def build():
+        method = DAFEntropy()
+        private = method.sanitize(city_matrix, 0.1, rng=0)
+        return ascii_partition_overlay(
+            city_matrix, private.metadata["split_tree"], rows=24, cols=48
+        )
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert "|" in text
+
+
+def test_print_three_panels(city_matrix):
+    print("\n(a) Non-adaptive uniform grid")
+    ebp = EBP().sanitize(city_matrix, 0.1, rng=0)
+    print(render_grid_partitioning(city_matrix.shape, int(ebp.metadata["m"]),
+                                   rows=20, cols=40))
+    for label, method in (
+        ("(b) DAF-Entropy", DAFEntropy()),
+        ("(c) DAF-Homogeneity", DAFHomogeneity()),
+    ):
+        private = method.sanitize(city_matrix, 0.1, rng=0)
+        print(f"\n{label}")
+        print(ascii_partition_overlay(
+            city_matrix, private.metadata["split_tree"], rows=20, cols=40
+        ))
+
+
+def test_daf_cuts_concentrate_on_density(city_matrix):
+    """Adaptive check: level-2 fanouts must vary across level-1 slabs and
+    correlate with slab population — the essence of Fig. 3b/3c."""
+    method = DAFEntropy(stop_condition=NeverStop())
+    method.sanitize(city_matrix, 0.1, rng=0)
+    root = method.tree_
+    slabs = root.children
+    fanouts = np.array([len(c.children) for c in slabs], dtype=float)
+    masses = np.array([c.count for c in slabs])
+    assert fanouts.std() > 0, "level-2 fanout never varies: not adaptive"
+    dense_fanout = fanouts[masses >= np.median(masses)].mean()
+    sparse_fanout = fanouts[masses < np.median(masses)].mean()
+    assert dense_fanout >= sparse_fanout
+
+
+def test_uniform_grid_is_not_adaptive(city_matrix):
+    """Contrast: EBP slices every dimension evenly regardless of data."""
+    private = EBP().sanitize(city_matrix, 0.1, rng=0)
+    widths = {p.box[0][1] - p.box[0][0] for p in private.partitions}
+    assert len(widths) <= 2  # near-equal interval widths only

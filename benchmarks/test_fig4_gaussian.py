@@ -1,0 +1,73 @@
+"""Benchmark F4 — paper Figure 4: Gaussian synthetic, d in {2,4,6},
+eps in {0.1, 0.3, 0.5}, random shape-and-size queries.
+
+Paper shape to reproduce: the proposed approaches (EBP, DAF) clearly beat
+IDENTITY/MKM; DAF's advantage grows with dimensionality; error falls as
+epsilon rises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_EPSILONS, figure4
+
+from .conftest import assert_decreasing, assert_method_beats, mre_by_method
+
+DIMS = (2, 4, 6)
+SKEWS = (0.05, 0.1, 0.25)
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure4(
+        scale, dims=DIMS, epsilons=PAPER_EPSILONS, skew_fractions=SKEWS,
+        rng=2022,
+    )
+
+
+def test_regenerate_figure4(benchmark, scale):
+    small = scale.with_overrides(n_queries=max(50, scale.n_queries // 4))
+    benchmark.pedantic(
+        lambda: figure4(small, dims=(2,), epsilons=(0.1,),
+                        skew_fractions=(0.1,), rng=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_panels(result):
+    for d in DIMS:
+        for eps in PAPER_EPSILONS:
+            print()
+            print(result.panel("skew_fraction", "method", d=d, epsilon=eps))
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_adaptive_beats_identity(result, d):
+    mres = mre_by_method(result.rows, d=d, epsilon=0.1)
+    best_adaptive = min(mres["ebp"], mres["daf_entropy"])
+    assert best_adaptive < mres["identity"]
+
+
+@pytest.mark.parametrize("d", (4, 6))
+def test_daf_strong_in_high_dimensions(result, d):
+    """Section 6.2: 'the superior performance of the DAF framework becomes
+    more evident in higher dimensions'."""
+    mres = mre_by_method(result.rows, d=d, epsilon=0.1)
+    daf_best = min(mres["daf_entropy"], mres["daf_homogeneity"])
+    assert daf_best < mres["identity"]
+    assert daf_best < mres["mkm"]
+
+
+def test_error_decreases_with_epsilon(result):
+    series = []
+    for eps in PAPER_EPSILONS:
+        mres = mre_by_method(result.rows, d=2, epsilon=eps)
+        series.append(float(np.mean(list(mres.values()))))
+    assert_decreasing(series, "figure4 eps trend")
+
+
+def test_mkm_tracks_identity(result):
+    """The paper observes MKM saturates to per-cell granularity on 2-D and
+    performs like IDENTITY."""
+    mres = mre_by_method(result.rows, d=2, epsilon=0.1)
+    assert mres["mkm"] > min(mres["ebp"], mres["daf_entropy"])

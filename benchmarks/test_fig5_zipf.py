@@ -1,0 +1,61 @@
+"""Benchmark F5 — paper Figure 5: Zipf synthetic, d in {2,4,6}, eps = 0.1.
+
+Paper shape: the proposed approaches outperform existing work by roughly
+an order of magnitude on Zipf data; error rises with the skew parameter a.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import FIG5_ZIPF_A, figure5
+
+from .conftest import assert_method_beats, mre_by_method
+
+DIMS = (2, 4, 6)
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure5(scale, dims=DIMS, a_values=FIG5_ZIPF_A, rng=2022)
+
+
+def test_regenerate_figure5(benchmark, scale):
+    small = scale.with_overrides(n_queries=max(50, scale.n_queries // 4))
+    benchmark.pedantic(
+        lambda: figure5(small, dims=(2,), a_values=(2.0,), rng=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_panels(result):
+    for d in DIMS:
+        print()
+        print(result.panel("zipf_a", "method", d=d))
+
+
+@pytest.mark.parametrize("d", DIMS)
+def test_proposed_beats_baselines(result, d):
+    mres = mre_by_method(result.rows, d=d)
+    proposed = min(mres["ebp"], mres["daf_entropy"], mres["daf_homogeneity"])
+    assert proposed < mres["identity"]
+    assert proposed < mres["mkm"]
+
+
+def test_order_of_magnitude_gap_somewhere(result):
+    """Figure 5's headline: an order-of-magnitude improvement."""
+    gaps = []
+    for d in DIMS:
+        mres = mre_by_method(result.rows, d=d)
+        proposed = min(mres["ebp"], mres["daf_entropy"])
+        baseline = max(mres["identity"], mres["mkm"])
+        gaps.append(baseline / max(proposed, 1e-9))
+    assert max(gaps) >= 5.0
+
+
+def test_daf_handles_extreme_skew(result):
+    """At the highest skew almost all mass sits in one cell; adaptive
+    stopping must keep DAF competitive with the best grid method."""
+    a_max = max(FIG5_ZIPF_A)
+    for d in (4, 6):
+        mres = mre_by_method(result.rows, d=d, zipf_a=a_max)
+        assert mres["daf_entropy"] <= mres["identity"]

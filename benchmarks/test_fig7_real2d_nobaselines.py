@@ -1,0 +1,59 @@
+"""Benchmark F7 — paper Figure 7: the Figure 6 setting restricted to the
+proposed methods (EUG, EBP, DAF-Entropy, DAF-Homogeneity), linear scale.
+
+Paper shape: EUG is the weakest of the four overall; EBP is strong in 2-D
+(it wins Detroit and New York; Denver is close between EBP and DAF).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CITY_NAMES
+from repro.experiments import PAPER_EPSILONS, figure7
+
+from .conftest import mre_by_method
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure7(scale, cities=CITY_NAMES, epsilons=PAPER_EPSILONS, rng=2022)
+
+
+def test_regenerate_figure7(benchmark, scale):
+    small = scale.with_overrides(n_queries=max(50, scale.n_queries // 4))
+    benchmark.pedantic(
+        lambda: figure7(small, cities=("new_york",), epsilons=(0.1,), rng=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_panels(result):
+    for city in CITY_NAMES:
+        for workload in ("random", "1%", "5%", "10%"):
+            print()
+            print(result.panel("epsilon", "method", city=city,
+                               workload=workload))
+
+
+def test_only_proposed_methods_present(result):
+    methods = {r["method"] for r in result.rows}
+    assert methods == {"eug", "ebp", "daf_entropy", "daf_homogeneity"}
+
+
+@pytest.mark.parametrize("city", CITY_NAMES)
+def test_eug_weakest_overall(result, city):
+    """'The EUG algorithm results in poorer accuracy overall.'"""
+    per_method = mre_by_method(result.rows, city=city)
+    best_other = min(v for k, v in per_method.items() if k != "eug")
+    assert best_other <= per_method["eug"]
+
+
+def test_ebp_competitive_in_2d(result):
+    """EBP wins or ties the 2-D comparison on at least one city
+    (the paper reports wins on Detroit and New York)."""
+    wins = 0
+    for city in CITY_NAMES:
+        per_method = mre_by_method(result.rows, city=city)
+        if per_method["ebp"] <= min(per_method.values()) * 1.3:
+            wins += 1
+    assert wins >= 1

@@ -1,0 +1,82 @@
+"""Benchmark F8 — paper Figure 8: 4-D origin-destination matrices built
+from (simulated) trajectories for the three cities.
+
+Paper shape: DAF-Entropy has superior accuracy on average, and the DAF
+advantage over data-independent grids grows relative to the 2-D setting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CITY_NAMES
+from repro.experiments import PAPER_EPSILONS, figure8
+
+from .conftest import mre_by_method
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure8(scale, cities=CITY_NAMES, epsilons=PAPER_EPSILONS,
+                   n_stops=0, rng=2022)
+
+
+def test_regenerate_figure8(benchmark, scale):
+    small = scale.with_overrides(
+        n_queries=max(50, scale.n_queries // 4),
+        n_trajectories=max(2000, scale.n_trajectories // 10),
+    )
+    benchmark.pedantic(
+        lambda: figure8(small, cities=("denver",), epsilons=(0.1,), rng=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_panels(result):
+    for city in CITY_NAMES:
+        for workload in ("random", "1%", "5%", "10%"):
+            print()
+            print(result.panel("epsilon", "method", city=city,
+                               workload=workload))
+
+
+def test_matrices_are_4d(result):
+    assert all(r["od_shape"].count("x") == 3 for r in result.rows)
+
+
+@pytest.mark.parametrize("city", CITY_NAMES)
+def test_daf_competitive_on_od(result, city):
+    """DAF methods must be at or near the front on 4-D OD data."""
+    mres = mre_by_method(result.rows, city=city, epsilon=0.1)
+    daf_best = min(mres["daf_entropy"], mres["daf_homogeneity"])
+    others_best = min(mres["eug"], mres["ebp"])
+    assert daf_best <= others_best * 2.0
+
+
+def test_daf_entropy_wins_on_average(result):
+    """'DAF-Entropy has superior accuracy on average compared to the other
+    techniques' (averaged over cities/workloads/budgets)."""
+    mres = mre_by_method(result.rows)
+    assert mres["daf_entropy"] <= min(mres["eug"], mres["ebp"]) * 1.5
+
+
+@pytest.fixture(scope="module")
+def result_6d(scale):
+    """6-D variant: one intermediate stop per trip (reduced size — the
+    paper's 'matrix dimension count increases' construction)."""
+    reduced = scale.with_overrides(
+        n_trajectories=max(2000, scale.n_trajectories // 3),
+        n_queries=max(50, scale.n_queries // 2),
+    )
+    return figure8(reduced, cities=("new_york",), epsilons=(0.1,),
+                   n_stops=1, rng=2022)
+
+
+def test_6d_matrices_built(result_6d):
+    assert all(r["od_shape"].count("x") == 5 for r in result_6d.rows)
+
+
+def test_daf_leads_in_6d(result_6d):
+    """The DAF advantage must persist (typically grow) at 6-D."""
+    mres = mre_by_method(result_6d.rows, epsilon=0.1)
+    daf_best = min(mres["daf_entropy"], mres["daf_homogeneity"])
+    assert daf_best <= min(mres["eug"], mres["ebp"]) * 1.5

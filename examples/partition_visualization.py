@@ -1,0 +1,46 @@
+"""Reproduce the intuition of the paper's Figure 3 in ASCII.
+
+Renders a Los Angeles-like density (the paper uses 500k Veraset points)
+and overlays the partition boundaries chosen by (a) a non-adaptive uniform
+grid, (b) DAF-Entropy, and (c) DAF-Homogeneity.  Vertical bars are
+dimension-1 cuts (the paper's green lines); horizontal dashes are
+dimension-2 cuts (yellow lines).
+
+Run:  python examples/partition_visualization.py
+"""
+
+from repro.datagen import los_angeles_like
+from repro.methods import DAFEntropy, DAFHomogeneity, EBP
+from repro.viz import ascii_heatmap, ascii_partition_overlay, render_grid_partitioning
+
+EPSILON = 0.1
+ROWS, COLS = 24, 56
+
+city = los_angeles_like()
+matrix = city.population_matrix(n_points=500_000, resolution=256, rng=3)
+print(f"{city.name}: {matrix.total:,.0f} points on a "
+      f"{matrix.shape[0]}x{matrix.shape[1]} grid\n")
+
+print("Population density:")
+print(ascii_heatmap(matrix.data.T, rows=ROWS, cols=COLS))
+
+ebp = EBP().sanitize(matrix, EPSILON, rng=0)
+print(f"\n(a) Non-adaptive uniform grid (EBP, m={ebp.metadata['m']}): "
+      "every dimension cut evenly")
+print(render_grid_partitioning(matrix.shape, int(ebp.metadata["m"]),
+                               rows=ROWS, cols=COLS))
+
+for label, method in [
+    ("(b) DAF-Entropy: fanout adapts per dimension and region", DAFEntropy()),
+    ("(c) DAF-Homogeneity: split positions chase homogeneous bins",
+     DAFHomogeneity()),
+]:
+    private = method.sanitize(matrix, EPSILON, rng=0)
+    print(f"\n{label}  [{private.n_partitions} partitions]")
+    print(ascii_partition_overlay(
+        matrix, private.metadata["split_tree"], rows=ROWS, cols=COLS
+    ))
+
+print("\nNote how the DAF cuts crowd the dense corridors while the uniform "
+      "grid spends partitions on empty space — the accuracy gap of "
+      "Figures 4-8 in one picture.")

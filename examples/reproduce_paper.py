@@ -1,0 +1,49 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage:
+    python examples/reproduce_paper.py [tiny|small|paper]
+
+``tiny`` finishes in well under a minute, ``small`` (default) in a few
+minutes, ``paper`` runs the full published parameters (10^6 points,
+1000x1000 grids, 1000 queries) and takes correspondingly longer.  The
+output is the set of series each figure plots; EXPERIMENTS.md records a
+captured run next to the paper's reported shapes.
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_ARTIFACTS, get_scale
+
+PANEL_SPECS = {
+    "figure4": ("skew_fraction", [("d", d) for d in (2, 4, 6)]),
+    "figure5": ("zipf_a", [("d", d) for d in (2, 4, 6)]),
+    "figure6": ("epsilon", [("city", c) for c in ("new_york", "denver", "detroit")]),
+    "figure7": ("epsilon", [("city", c) for c in ("new_york", "denver", "detroit")]),
+    "figure8": ("epsilon", [("city", c) for c in ("new_york", "denver", "detroit")]),
+}
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "small"
+    scale = get_scale(scale_name)
+    print(f"Reproducing all paper artifacts at scale {scale.name!r} "
+          f"(N={scale.n_points:,}, grid={scale.city_resolution}, "
+          f"queries={scale.n_queries})")
+
+    for name, fn in ALL_ARTIFACTS.items():
+        start = time.perf_counter()
+        result = fn(scale=scale, rng=2022)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}\n{name} ({elapsed:.1f}s): {result.description}\n")
+        if name == "table3":
+            print(result.panel("city", "method", "sanitize_seconds"))
+            continue
+        index, panels = PANEL_SPECS[name]
+        for key, value in panels:
+            print(result.panel(index, "method", **{key: value}))
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Private stand-to-stand flow analysis on a synthetic taxi fleet.
+
+Taxi OD data is the classic public-GPS workload for OD-matrix research
+(NYC TLC, Porto).  This example synthesizes a fleet with hotspot stands
+and directional flows, publishes the DP OD matrix, and shows that the
+stand-to-stand flow structure — which pairs dominate, how asymmetric the
+airport flows are — survives sanitization.
+
+Run:  python examples/taxi_fleet_analysis.py
+"""
+
+import numpy as np
+
+from repro import classical_od_matrix, get_sanitizer
+from repro.datagen import TaxiFleetModel
+from repro.trajectories import flow_between
+
+EPSILON = 0.3
+N_TRIPS = 80_000
+
+model = TaxiFleetModel(pair_affinity=0.6, street_hail_fraction=0.15)
+trips = model.sample_trips(N_TRIPS, rng=1)
+matrix = classical_od_matrix(trips, model.grid, cell_budget=1_500_000)
+print(f"taxi fleet: {N_TRIPS:,} trips, OD matrix {matrix.shape}")
+
+private = get_sanitizer("daf_entropy").sanitize(matrix, EPSILON, rng=2)
+print(f"published with epsilon={EPSILON}: {private.n_partitions} partitions\n")
+
+regions = dict(model.stand_regions(radius_km=5.0))
+names = list(regions)
+
+print("Stand-to-stand flows (true -> private):")
+header = f"{'pickup / dropoff':14s}" + "".join(f" {n[:12]:>14s}" for n in names)
+print(header)
+for a in names:
+    cells = []
+    for b in names:
+        if a == b:
+            cells.append(f" {'—':>14s}")
+            continue
+        true = flow_between(matrix, regions[a], regions[b])
+        noisy = flow_between(private, regions[a], regions[b])
+        cells.append(f" {true:6.0f}->{noisy:6.0f}")
+    print(f"{a[:14]:14s}" + "".join(cells))
+
+# Directionality: morning-style airport imbalance survives?
+to_airport = flow_between(private, regions["downtown"], regions["airport"])
+from_airport = flow_between(private, regions["airport"], regions["downtown"])
+true_to = flow_between(matrix, regions["downtown"], regions["airport"])
+true_from = flow_between(matrix, regions["airport"], regions["downtown"])
+print(f"\nairport directionality: true ratio "
+      f"{true_to / max(true_from, 1):.2f}, private ratio "
+      f"{to_airport / max(from_airport, 1):.2f}")
+
+print("\nThe dominant pairs and their asymmetries are preserved — the "
+      "published matrix supports fleet-positioning decisions without "
+      "exposing any individual trip.")

@@ -1,0 +1,77 @@
+"""Transit planning with a private classical OD matrix.
+
+The original OD-matrix use case (Section 1): provision transport capacity
+by measuring demand between district pairs.  A transit agency receives the
+DP-sanitized 4-D OD matrix and ranks corridor demand — comparing how each
+sanitization method preserves the ranking at different privacy budgets.
+
+Run:  python examples/transit_planning.py
+"""
+
+import numpy as np
+
+from repro import classical_od_matrix, get_sanitizer
+from repro.datagen import get_city, simulate_od_dataset
+from repro.trajectories import circle_region, flow_between
+
+METHODS = ["uniform", "ebp", "daf_entropy", "daf_homogeneity"]
+EPSILONS = [0.1, 0.5]
+
+# ----------------------------------------------------------------------
+# 1. Simulate commuting and build the classical (origin, dest) OD matrix.
+# ----------------------------------------------------------------------
+city = get_city("denver")
+dataset = simulate_od_dataset(city, n_trajectories=60_000, n_stops=0, rng=3)
+matrix = classical_od_matrix(dataset, city.grid, cell_budget=1_000_000)
+print(f"{city.name}: OD matrix {matrix.shape}, "
+      f"{dataset.n_trajectories:,} trips")
+
+# ----------------------------------------------------------------------
+# 2. Define candidate transit corridors between districts.
+# ----------------------------------------------------------------------
+c = city.side_km / 2
+districts = {
+    "downtown": circle_region((c, c), 5.0),
+    "north-suburb": circle_region((c - 7, c - 5), 5.0),
+    "east-side": circle_region((c + 7, c + 5), 5.0),
+    "airport": circle_region((c + 16, c - 14), 6.0),
+}
+corridors = [
+    ("north-suburb", "downtown"),
+    ("east-side", "downtown"),
+    ("downtown", "airport"),
+    ("north-suburb", "east-side"),
+]
+
+true_demand = {
+    f"{a}->{b}": flow_between(matrix, districts[a], districts[b])
+    for a, b in corridors
+}
+true_ranking = sorted(true_demand, key=true_demand.get, reverse=True)
+print("\nTrue corridor demand:")
+for name in true_ranking:
+    print(f"  {name:28s} {true_demand[name]:8.0f} trips")
+
+# ----------------------------------------------------------------------
+# 3. Sanitize with each method and check the demand ranking survives.
+# ----------------------------------------------------------------------
+for epsilon in EPSILONS:
+    print(f"\n=== epsilon = {epsilon} ===")
+    print(f"{'method':18s} {'top corridor kept?':20s} {'mean rel.err':>12s}")
+    for method in METHODS:
+        private = get_sanitizer(method).sanitize(matrix, epsilon, rng=9)
+        noisy = {
+            name: flow_between(private, districts[a], districts[b])
+            for name, (a, b) in zip(true_demand, corridors)
+        }
+        noisy_ranking = sorted(noisy, key=noisy.get, reverse=True)
+        kept = "yes" if noisy_ranking[0] == true_ranking[0] else "NO"
+        errs = [
+            abs(noisy[k] - true_demand[k]) / max(true_demand[k], 1.0)
+            for k in true_demand
+        ]
+        print(f"{method:18s} {kept:20s} {100 * float(np.mean(errs)):11.1f}%")
+
+print("\nAdaptive methods (DAF, EBP) keep corridor rankings usable at "
+      "budgets where the uniform baseline's volume-proportional answers "
+      "wash demand differences out.")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so editable installs work in offline environments whose pip cannot
+fetch the ``wheel`` backend (``pip install -e . --no-build-isolation
+--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

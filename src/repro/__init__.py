@@ -1,0 +1,128 @@
+"""repro — differentially-private publication of origin-destination
+matrices with intermediate stops.
+
+A full reproduction of *"Differentially-Private Publication of
+Origin-Destination Matrices with Intermediate Stops"* (EDBT 2022):
+frequency-matrix sanitization under epsilon-DP with the paper's complete
+method set (IDENTITY, UNIFORM, MKM, EUG, EBP, DAF-Entropy,
+DAF-Homogeneity) plus extensions, a trajectory/OD substrate, synthetic
+data generators substituting the proprietary Veraset corpus, and an
+experiment harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import FrequencyMatrix, get_sanitizer
+>>> fm = FrequencyMatrix(np.random.default_rng(0).poisson(2, (64, 64)))
+>>> private = get_sanitizer("daf_entropy").sanitize(fm, epsilon=0.5, rng=1)
+>>> estimate = private.answer(((0, 31), (0, 31)))
+"""
+
+from .core import (
+    BudgetError,
+    Box,
+    DimensionSpec,
+    Domain,
+    FrequencyMatrix,
+    MethodError,
+    Partition,
+    Partitioning,
+    PartitioningError,
+    PrefixSumTable,
+    PrivateFrequencyMatrix,
+    QueryError,
+    ReproError,
+    SparseFrequencyMatrix,
+    ValidationError,
+)
+from .dp import (
+    BudgetLedger,
+    GeometricMechanism,
+    LaplaceMechanism,
+    ensure_rng,
+    geometric_level_budgets,
+    laplace_noise,
+    report_noisy_min,
+)
+from .methods import (
+    EBP,
+    EUG,
+    MKM,
+    DAFEntropy,
+    DAFHomogeneity,
+    Identity,
+    KDTree,
+    Privlet,
+    Quadtree,
+    Sanitizer,
+    Uniform,
+    available_methods,
+    get_sanitizer,
+)
+from .queries import (
+    Workload,
+    WorkloadEvaluator,
+    fixed_coverage_workload,
+    mean_relative_error,
+    random_workload,
+)
+from .trajectories import (
+    ODMatrixBuilder,
+    SpatialGrid,
+    Trajectory,
+    TrajectoryDataset,
+    classical_od_matrix,
+    od_matrix_with_stops,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetError",
+    "BudgetLedger",
+    "Box",
+    "DAFEntropy",
+    "DAFHomogeneity",
+    "DimensionSpec",
+    "Domain",
+    "EBP",
+    "EUG",
+    "FrequencyMatrix",
+    "GeometricMechanism",
+    "Identity",
+    "KDTree",
+    "LaplaceMechanism",
+    "MKM",
+    "MethodError",
+    "ODMatrixBuilder",
+    "Partition",
+    "Partitioning",
+    "PartitioningError",
+    "PrefixSumTable",
+    "PrivateFrequencyMatrix",
+    "Privlet",
+    "QueryError",
+    "Quadtree",
+    "ReproError",
+    "Sanitizer",
+    "SparseFrequencyMatrix",
+    "SpatialGrid",
+    "Trajectory",
+    "TrajectoryDataset",
+    "Uniform",
+    "ValidationError",
+    "Workload",
+    "WorkloadEvaluator",
+    "available_methods",
+    "classical_od_matrix",
+    "ensure_rng",
+    "fixed_coverage_workload",
+    "geometric_level_budgets",
+    "get_sanitizer",
+    "laplace_noise",
+    "mean_relative_error",
+    "od_matrix_with_stops",
+    "random_workload",
+    "report_noisy_min",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Core substrate: frequency matrices, partitions, queries, entropy."""
+
+from .consistency import (
+    clip_nonnegative,
+    project_nonnegative_total,
+    rescale_to_total,
+)
+from .domain import DimensionSpec, Domain
+from .entropy import (
+    distribution_entropy,
+    information_loss,
+    laplace_noise_entropy,
+    matrix_entropy,
+    partition_entropy,
+    partitioned_entropy_approximation,
+    uniform_entropy_approximation,
+)
+from .exceptions import (
+    BudgetError,
+    MethodError,
+    PartitioningError,
+    QueryError,
+    ReproError,
+    ValidationError,
+)
+from .frequency_matrix import (
+    Box,
+    FrequencyMatrix,
+    box_n_cells,
+    box_slices,
+    full_box,
+    validate_box,
+)
+from .partition import Partition, Partitioning, grid_boxes, split_interval
+from .prefix_sum import PrefixSumTable
+from .private_matrix import PrivateFrequencyMatrix
+from .sparse import SparseFrequencyMatrix
+
+__all__ = [
+    "BudgetError",
+    "Box",
+    "DimensionSpec",
+    "Domain",
+    "FrequencyMatrix",
+    "MethodError",
+    "Partition",
+    "Partitioning",
+    "PartitioningError",
+    "PrefixSumTable",
+    "PrivateFrequencyMatrix",
+    "QueryError",
+    "ReproError",
+    "SparseFrequencyMatrix",
+    "ValidationError",
+    "box_n_cells",
+    "clip_nonnegative",
+    "box_slices",
+    "distribution_entropy",
+    "full_box",
+    "grid_boxes",
+    "information_loss",
+    "laplace_noise_entropy",
+    "matrix_entropy",
+    "partition_entropy",
+    "partitioned_entropy_approximation",
+    "project_nonnegative_total",
+    "rescale_to_total",
+    "split_interval",
+    "uniform_entropy_approximation",
+    "validate_box",
+]

@@ -1,0 +1,174 @@
+"""Dimension domains: mapping between continuous coordinates and matrix cells.
+
+A :class:`FrequencyMatrix` is an integer-indexed array, but the data it
+summarizes lives in a continuous space (latitude/longitude, time of day,
+...).  A :class:`Domain` records, for every dimension, the continuous extent
+and a human-readable name, and converts between continuous coordinates and
+cell indices.  This is what lets sanitized OD matrices keep *location
+proximity semantics* (Section 2.3 of the paper) rather than abstract labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """Description of a single matrix dimension.
+
+    Parameters
+    ----------
+    size:
+        Number of cells along this dimension (the dimension cardinality
+        ``F_i`` in the paper's notation).
+    low, high:
+        Continuous extent covered by the dimension.  Cell ``k`` covers the
+        half-open interval ``[low + k*w, low + (k+1)*w)`` with
+        ``w = (high - low) / size``; the last cell includes ``high``.
+    name:
+        Human-readable label (``"origin_x"``, ``"noon_y"``, ...).
+    """
+
+    size: int
+    low: float = 0.0
+    high: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.size, "size")
+        high = float(self.size) if self.high is None else float(self.high)
+        object.__setattr__(self, "low", float(self.low))
+        object.__setattr__(self, "high", high)
+        if not (np.isfinite(self.low) and np.isfinite(high)):
+            raise ValidationError("dimension extent must be finite")
+        if high <= self.low:
+            raise ValidationError(
+                f"dimension extent must be non-empty, got [{self.low}, {high}]"
+            )
+
+    @property
+    def width(self) -> float:
+        """Continuous width of a single cell."""
+        return (self.high - self.low) / self.size
+
+    def to_cell(self, coordinate: float) -> int:
+        """Map a continuous coordinate to its cell index (clipped to range)."""
+        if not np.isfinite(coordinate):
+            raise ValidationError(f"coordinate must be finite, got {coordinate}")
+        idx = int(np.floor((coordinate - self.low) / self.width))
+        return min(max(idx, 0), self.size - 1)
+
+    def to_cells(self, coordinates: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`to_cell` for an array of coordinates."""
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if not np.all(np.isfinite(coords)):
+            raise ValidationError("coordinates must be finite")
+        idx = np.floor((coords - self.low) / self.width).astype(np.int64)
+        return np.clip(idx, 0, self.size - 1)
+
+    def cell_interval(self, index: int) -> Tuple[float, float]:
+        """Continuous interval ``[lo, hi)`` covered by cell ``index``."""
+        if not 0 <= index < self.size:
+            raise ValidationError(f"cell index {index} out of range [0, {self.size})")
+        lo = self.low + index * self.width
+        return (lo, lo + self.width)
+
+    def interval_to_cells(self, lo: float, hi: float) -> Tuple[int, int]:
+        """Map a continuous interval to the inclusive cell range it touches."""
+        if hi < lo:
+            raise ValidationError(f"interval must satisfy lo <= hi, got [{lo}, {hi}]")
+        return (self.to_cell(lo), self.to_cell(min(hi, np.nextafter(self.high, -np.inf))))
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An ordered collection of :class:`DimensionSpec`, one per matrix axis."""
+
+    dimensions: Tuple[DimensionSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        dims = tuple(self.dimensions)
+        if len(dims) == 0:
+            raise ValidationError("a Domain needs at least one dimension")
+        for d in dims:
+            if not isinstance(d, DimensionSpec):
+                raise ValidationError(f"expected DimensionSpec, got {type(d).__name__}")
+        object.__setattr__(self, "dimensions", dims)
+
+    @classmethod
+    def regular(cls, shape: Sequence[int], names: Sequence[str] | None = None) -> "Domain":
+        """Build a domain whose continuous extent equals the cell grid.
+
+        This is the common case for synthetic experiments where cell ``k``
+        covers ``[k, k+1)``.
+        """
+        shape = tuple(int(s) for s in shape)
+        if names is None:
+            names = [f"dim{i}" for i in range(len(shape))]
+        if len(names) != len(shape):
+            raise ValidationError("names must match shape length")
+        return cls(tuple(DimensionSpec(size=s, name=n) for s, n in zip(shape, names)))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self.dimensions)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    @property
+    def n_cells(self) -> int:
+        return int(np.prod([d.size for d in self.dimensions], dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __iter__(self) -> Iterator[DimensionSpec]:
+        return iter(self.dimensions)
+
+    def __getitem__(self, i: int) -> DimensionSpec:
+        return self.dimensions[i]
+
+    def point_to_cell(self, point: Iterable[float]) -> Tuple[int, ...]:
+        """Map a continuous point to its cell multi-index."""
+        coords = tuple(point)
+        if len(coords) != self.ndim:
+            raise ValidationError(
+                f"point has {len(coords)} coordinates, domain has {self.ndim}"
+            )
+        return tuple(d.to_cell(c) for d, c in zip(self.dimensions, coords))
+
+    def points_to_cells(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`point_to_cell` for an ``(n, ndim)`` array."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self.ndim:
+            raise ValidationError(
+                f"points must have shape (n, {self.ndim}), got {pts.shape}"
+            )
+        cols = [d.to_cells(pts[:, i]) for i, d in enumerate(self.dimensions)]
+        return np.stack(cols, axis=1)
+
+    def box_to_cells(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Map a continuous axis-aligned box to inclusive cell ranges."""
+        lows = tuple(lows)
+        highs = tuple(highs)
+        if len(lows) != self.ndim or len(highs) != self.ndim:
+            raise ValidationError("box bounds must match domain dimensionality")
+        return tuple(
+            d.interval_to_cells(lo, hi)
+            for d, lo, hi in zip(self.dimensions, lows, highs)
+        )

@@ -1,0 +1,102 @@
+"""Entropy computations used by EBP and DAF-Entropy (paper Def. 4, Eq. 14-19).
+
+The paper reasons about three quantities:
+
+* ``H(F)`` — the entropy of a frequency matrix, treating normalized cell
+  counts as a distribution;
+* ``H(F | P)`` — the entropy after partitioning (counts aggregated per
+  partition);
+* the *noise entropy* of the Laplace perturbation at a given granularity.
+
+Direct computation of ``H(F)`` on raw data violates DP, which is why the
+algorithms approximate it by ``log2(N)`` under a uniformity assumption
+(Eq. 17); both the exact and the approximate forms live here so tests can
+compare them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .frequency_matrix import FrequencyMatrix
+from .partition import Partitioning
+
+
+def distribution_entropy(weights: Iterable[float]) -> float:
+    """Shannon entropy (base 2) of non-negative weights, normalized to sum 1.
+
+    Zero weights contribute nothing (``0 * log 0 = 0``).  Returns 0 for an
+    all-zero or empty input.
+    """
+    w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                   dtype=np.float64).ravel()
+    if w.size == 0:
+        return 0.0
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise ValidationError("entropy weights must be non-negative and finite")
+    total = w.sum()
+    if total <= 0:
+        return 0.0
+    p = w / total
+    # Mask after normalization: a denormal weight can underflow to exactly
+    # 0 when divided by the total, and 0 * log2(0) must contribute nothing.
+    p = p[p > 0]
+    return float(-(p * np.log2(p)).sum())
+
+
+def matrix_entropy(matrix: FrequencyMatrix) -> float:
+    """``H(F)``: entropy of the cell-count distribution."""
+    return distribution_entropy(matrix.data)
+
+
+def partition_entropy(matrix: FrequencyMatrix, partitioning: Partitioning) -> float:
+    """``H(F | P)`` per Def. 4, using the partitions' *true* counts."""
+    counts = [matrix.range_count(p.box) for p in partitioning]
+    return distribution_entropy(counts)
+
+
+def information_loss(matrix: FrequencyMatrix, partitioning: Partitioning) -> float:
+    """``H(F) - H(F | P)`` (Eq. 15): information lost by aggregation.
+
+    Always >= 0 up to float error, because aggregation cannot increase
+    entropy of the induced distribution.
+    """
+    return matrix_entropy(matrix) - partition_entropy(matrix, partitioning)
+
+
+def uniform_entropy_approximation(total_count: float) -> float:
+    """``H(F) ~= log2(N)`` (Eq. 17 left): entropy if the N points were spread
+    uniformly, one per cell.  Clamped to 0 for ``N <= 1``."""
+    if total_count <= 1.0:
+        return 0.0
+    return float(math.log2(total_count))
+
+
+def partitioned_entropy_approximation(m: float, ndim: int) -> float:
+    """``H(F | m) ~= log2(m^d)`` (Eq. 17 right): entropy of a uniform
+    distribution over the ``m^d`` grid partitions."""
+    if m < 1.0:
+        raise ValidationError(f"granularity m must be >= 1, got {m}")
+    if ndim < 1:
+        raise ValidationError(f"ndim must be >= 1, got {ndim}")
+    return float(ndim * math.log2(m))
+
+
+def laplace_noise_entropy(m: float, ndim: int, epsilon: float) -> float:
+    """Entropy of the aggregate Laplace perturbation at granularity ``m``
+    (Eq. 14): ``-log2(eps / (sqrt(2) * m^{d/2}))``.
+
+    This is the paper's information-theoretic proxy for how much the noise
+    obscures the published histogram; EBP balances it against the
+    information loss of coarsening.
+    """
+    if epsilon <= 0:
+        raise ValidationError(f"epsilon must be positive, got {epsilon}")
+    if m < 1.0:
+        raise ValidationError(f"granularity m must be >= 1, got {m}")
+    std = math.sqrt(2.0) * m ** (ndim / 2.0) / epsilon
+    return float(math.log2(std))

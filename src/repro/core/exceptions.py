@@ -1,0 +1,33 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` from misuse of numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad shape, negative count, empty domain)."""
+
+
+class BudgetError(ReproError, ValueError):
+    """A privacy-budget ledger was asked to overspend or misuse budget."""
+
+
+class PartitioningError(ReproError, ValueError):
+    """A partitioning is malformed (overlap, gap, or out-of-bounds box)."""
+
+
+class QueryError(ReproError, ValueError):
+    """A range query is malformed for the matrix it targets."""
+
+
+class MethodError(ReproError, ValueError):
+    """A sanitization method was configured or invoked incorrectly."""

@@ -1,0 +1,285 @@
+"""The sanitized output consumed by analysts.
+
+A :class:`PrivateFrequencyMatrix` is exactly what Section 2.2 publishes: the
+boundaries of all partitions plus their noisy counts.  Range queries are
+answered under the per-partition uniformity assumption.
+
+Two storage backends are supported:
+
+* **partition-backed** — an explicit :class:`~repro.core.partition.Partitioning`
+  (grid and tree methods).  Queries use geometric overlap per partition, or
+  a dense prefix-sum reconstruction for large workloads; both give identical
+  answers (asserted by the test suite).
+* **dense-backed** — a noisy per-cell array (the IDENTITY baseline and the
+  Privlet wavelet method publish one value per cell; materializing one
+  :class:`Partition` object per cell would be wasteful).  Conceptually this
+  is the partitioning into singleton cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .domain import Domain
+from .exceptions import QueryError, ValidationError
+from .frequency_matrix import Box, FrequencyMatrix, box_slices, validate_box
+from .partition import Partition, Partitioning
+from .prefix_sum import PrefixSumTable
+
+
+class PrivateFrequencyMatrix:
+    """Partition boundaries + noisy counts, with uniform query answering.
+
+    Construct either with a ``partitioning`` or via :meth:`from_dense_noisy`.
+
+    Parameters
+    ----------
+    partitioning:
+        The complete partitioning with noisy counts attached.
+    domain:
+        Domain of the original matrix (for continuous-coordinate queries).
+    epsilon:
+        Total privacy budget consumed producing this output.
+    method:
+        Name of the producing sanitizer (``"daf_entropy"``, ...).
+    metadata:
+        Free-form extras a method wants to expose (chosen ``m``, tree depth,
+        budget split, ...).  Must not contain raw data.
+    """
+
+    __slots__ = ("_partitioning", "_domain", "_epsilon", "_method", "_metadata",
+                 "_dense_cache", "_prefix_cache", "_shape")
+
+    def __init__(
+        self,
+        partitioning: Partitioning,
+        domain: Domain | None = None,
+        *,
+        epsilon: float = 0.0,
+        method: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ):
+        if not isinstance(partitioning, Partitioning):
+            raise ValidationError("partitioning must be a Partitioning")
+        self._init_common(partitioning.shape, domain, epsilon, method, metadata)
+        self._partitioning: Partitioning | None = partitioning
+        self._dense_cache: np.ndarray | None = None
+
+    @classmethod
+    def from_dense_noisy(
+        cls,
+        noisy: np.ndarray,
+        domain: Domain | None = None,
+        *,
+        epsilon: float = 0.0,
+        method: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ) -> "PrivateFrequencyMatrix":
+        """Build a dense-backed private matrix from per-cell noisy counts."""
+        noisy = np.asarray(noisy, dtype=np.float64)
+        if noisy.ndim == 0:
+            raise ValidationError("noisy array needs at least one dimension")
+        if not np.all(np.isfinite(noisy)):
+            raise ValidationError("noisy array must be finite")
+        self = cls.__new__(cls)
+        self._init_common(noisy.shape, domain, epsilon, method, metadata)
+        self._partitioning = None
+        self._dense_cache = noisy.copy()
+        return self
+
+    def _init_common(
+        self,
+        shape: Tuple[int, ...],
+        domain: Domain | None,
+        epsilon: float,
+        method: str,
+        metadata: Mapping[str, object] | None,
+    ) -> None:
+        if domain is None:
+            domain = Domain.regular(shape)
+        if domain.shape != tuple(shape):
+            raise ValidationError(
+                f"domain shape {domain.shape} != matrix shape {tuple(shape)}"
+            )
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        self._shape = tuple(shape)
+        self._domain = domain
+        self._epsilon = float(epsilon)
+        self._method = str(method)
+        self._metadata: Dict[str, object] = dict(metadata or {})
+        self._prefix_cache: PrefixSumTable | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_dense_backed(self) -> bool:
+        """True when the output is per-cell noisy counts (no partition list)."""
+        return self._partitioning is None
+
+    @property
+    def partitioning(self) -> Partitioning:
+        """The partition list (raises for dense-backed outputs)."""
+        if self._partitioning is None:
+            raise QueryError(
+                "this private matrix is dense-backed (per-cell counts); "
+                "it has no explicit partition list"
+            )
+        return self._partitioning
+
+    @property
+    def partitions(self) -> Tuple[Partition, ...]:
+        return self.partitioning.partitions
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        return dict(self._metadata)
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of published regions (cells, for dense-backed outputs)."""
+        if self._partitioning is None:
+            return int(np.prod(self._shape, dtype=np.int64))
+        return len(self._partitioning)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrivateFrequencyMatrix(method={self._method!r}, shape={self.shape}, "
+            f"partitions={self.n_partitions}, epsilon={self._epsilon:g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer(self, box: Box) -> float:
+        """Answer an inclusive cell-index range query (uniformity assumption)."""
+        box = validate_box(box, self.shape)
+        if self._partitioning is None:
+            return float(self.dense_array()[box_slices(box)].sum())
+        return float(sum(p.uniform_answer(box) for p in self._partitioning))
+
+    def answer_many(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Answer a workload of box queries.
+
+        Uses the dense prefix-sum engine when the matrix fits in memory and
+        the workload is large; otherwise answers per-partition.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            return np.zeros(0, dtype=np.float64)
+        n_cells = int(np.prod(self.shape, dtype=np.int64))
+        use_dense = self._partitioning is None or (
+            n_cells <= 50_000_000
+            and len(boxes) * self.n_partitions > 4 * n_cells
+        )
+        if use_dense:
+            return self._prefix_table().query_many(boxes)
+        return np.array([self.answer(b) for b in boxes], dtype=np.float64)
+
+    def answer_continuous(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> float:
+        """Answer a continuous-coordinate range query via the domain."""
+        return self.answer(self._domain.box_to_cells(lows, highs))
+
+    # ------------------------------------------------------------------
+    # Dense reconstruction
+    # ------------------------------------------------------------------
+    def to_dense(self) -> FrequencyMatrix:
+        """Reconstruct the noisy matrix as counts, clipping negatives to 0.
+
+        Laplace noise is signed, but :class:`FrequencyMatrix` stores counts;
+        use :meth:`dense_array` for the raw signed reconstruction.
+        """
+        return FrequencyMatrix(np.maximum(self.dense_array(), 0.0), self._domain)
+
+    def dense_array(self) -> np.ndarray:
+        """The signed dense reconstruction: each cell holds its partition's
+        noisy count divided by the partition's cell count."""
+        if self._dense_cache is None:
+            out = np.zeros(self.shape, dtype=np.float64)
+            for p in self._partitioning:  # type: ignore[union-attr]
+                out[box_slices(p.box)] = p.noisy_count / p.n_cells
+            self._dense_cache = out
+        return self._dense_cache
+
+    def _prefix_table(self) -> PrefixSumTable:
+        if self._prefix_cache is None:
+            self._prefix_cache = PrefixSumTable(self.dense_array())
+        return self._prefix_cache
+
+    # ------------------------------------------------------------------
+    # Serialization (what actually gets published)
+    # ------------------------------------------------------------------
+    def to_publishable(self) -> Dict[str, object]:
+        """The DP-safe payload: boxes, noisy counts, method, epsilon.
+
+        True counts are intentionally omitted.  Dense-backed outputs publish
+        the flattened per-cell noisy counts.
+        """
+        payload: Dict[str, object] = {
+            "method": self._method,
+            "epsilon": self._epsilon,
+            "shape": list(self.shape),
+            "metadata": dict(self._metadata),
+        }
+        if self._partitioning is None:
+            payload["cells"] = self.dense_array().ravel().tolist()
+        else:
+            payload["partitions"] = [
+                {"box": [list(r) for r in p.box], "noisy_count": p.noisy_count}
+                for p in self._partitioning
+            ]
+        return payload
+
+    @classmethod
+    def from_publishable(cls, payload: Mapping[str, object]) -> "PrivateFrequencyMatrix":
+        """Rebuild from :meth:`to_publishable` output."""
+        try:
+            shape = tuple(int(s) for s in payload["shape"])  # type: ignore[index]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed publishable payload: {exc}") from exc
+        common = {
+            "epsilon": float(payload.get("epsilon", 0.0)),  # type: ignore[arg-type]
+            "method": str(payload.get("method", "")),
+            "metadata": payload.get("metadata"),
+        }
+        if "cells" in payload:
+            cells = np.asarray(payload["cells"], dtype=np.float64)
+            if cells.size != int(np.prod(shape, dtype=np.int64)):
+                raise QueryError("cell payload size does not match shape")
+            return cls.from_dense_noisy(cells.reshape(shape), **common)  # type: ignore[arg-type]
+        try:
+            raw = payload["partitions"]  # type: ignore[index]
+            parts: List[Partition] = [
+                Partition(
+                    tuple((int(lo), int(hi)) for lo, hi in entry["box"]),
+                    float(entry["noisy_count"]),
+                )
+                for entry in raw  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed publishable payload: {exc}") from exc
+        partitioning = Partitioning(parts, shape, validate=True)
+        return cls(partitioning, **common)  # type: ignore[arg-type]

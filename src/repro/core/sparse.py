@@ -1,0 +1,164 @@
+"""Sparse accumulator for building high-dimensional frequency matrices.
+
+Origin-destination matrices with intermediate stops grow exponentially in
+the number of recorded points (a 4-D OD matrix over a 1000x1000 grid has
+10^12 cells).  Trajectory datasets, however, touch only a tiny fraction of
+those cells.  :class:`SparseFrequencyMatrix` accumulates counts in a
+dictionary keyed by cell multi-index and converts to a dense
+:class:`~repro.core.frequency_matrix.FrequencyMatrix` once the target
+granularity is coarse enough to fit in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .domain import Domain
+from .exceptions import ValidationError
+from .frequency_matrix import FrequencyMatrix
+from .validation import require_shape
+
+#: Guard against accidentally densifying matrices that cannot fit in memory.
+DEFAULT_DENSIFY_LIMIT = 50_000_000
+
+
+class SparseFrequencyMatrix:
+    """Dictionary-backed frequency matrix for sparse, high-dimensional data."""
+
+    __slots__ = ("_shape", "_counts", "_domain")
+
+    def __init__(self, shape: Sequence[int], domain: Domain | None = None):
+        self._shape = require_shape(shape)
+        if domain is None:
+            domain = Domain.regular(self._shape)
+        if domain.shape != self._shape:
+            raise ValidationError(
+                f"domain shape {domain.shape} does not match shape {self._shape}"
+            )
+        self._domain = domain
+        self._counts: Dict[Tuple[int, ...], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._shape)
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def n_nonzero(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._counts.values()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    # ------------------------------------------------------------------
+    def _check_index(self, index: Sequence[int]) -> Tuple[int, ...]:
+        idx = tuple(int(i) for i in index)
+        if len(idx) != self.ndim:
+            raise ValidationError(
+                f"index has {len(idx)} coordinates, matrix has {self.ndim}"
+            )
+        for axis, (i, size) in enumerate(zip(idx, self._shape)):
+            if not 0 <= i < size:
+                raise ValidationError(
+                    f"index {i} on axis {axis} outside [0, {size})"
+                )
+        return idx
+
+    def increment(self, index: Sequence[int], amount: float = 1.0) -> None:
+        """Add ``amount`` to the cell at ``index``."""
+        if amount < 0 or not np.isfinite(amount):
+            raise ValidationError(f"amount must be non-negative and finite, got {amount}")
+        idx = self._check_index(index)
+        if amount == 0.0:
+            return
+        self._counts[idx] = self._counts.get(idx, 0.0) + float(amount)
+
+    def increment_many(self, cells: np.ndarray) -> None:
+        """Add 1 to each cell multi-index in an ``(n, d)`` integer array."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.ndim != 2 or cells.shape[1] != self.ndim:
+            raise ValidationError(
+                f"cells must have shape (n, {self.ndim}), got {cells.shape}"
+            )
+        for axis in range(self.ndim):
+            col = cells[:, axis]
+            if col.size and (col.min() < 0 or col.max() >= self._shape[axis]):
+                raise ValidationError(
+                    f"cell indices on axis {axis} outside [0, {self._shape[axis]})"
+                )
+        # Aggregate duplicates in numpy before touching the dict.
+        uniq, counts = np.unique(cells, axis=0, return_counts=True)
+        for row, c in zip(uniq, counts):
+            key = tuple(int(i) for i in row)
+            self._counts[key] = self._counts.get(key, 0.0) + float(c)
+
+    def get(self, index: Sequence[int]) -> float:
+        """Count at ``index`` (0 when never incremented)."""
+        return self._counts.get(self._check_index(index), 0.0)
+
+    def items(self) -> Iterator[Tuple[Tuple[int, ...], float]]:
+        return iter(self._counts.items())
+
+    # ------------------------------------------------------------------
+    def coarsen(self, new_shape: Sequence[int]) -> "SparseFrequencyMatrix":
+        """Re-bin to a coarser grid whose sizes divide into the current grid.
+
+        Cell ``i`` on an axis of size ``s`` maps to ``i * new_s // s`` — the
+        standard proportional re-binning, exact when ``new_s`` divides ``s``.
+        """
+        new_shape = require_shape(new_shape)
+        if len(new_shape) != self.ndim:
+            raise ValidationError("new_shape must preserve dimensionality")
+        for axis, (new_s, s) in enumerate(zip(new_shape, self._shape)):
+            if new_s > s:
+                raise ValidationError(
+                    f"axis {axis}: cannot coarsen {s} cells into {new_s}"
+                )
+        out = SparseFrequencyMatrix(new_shape)
+        for idx, count in self._counts.items():
+            new_idx = tuple(
+                (i * new_s) // s for i, new_s, s in zip(idx, new_shape, self._shape)
+            )
+            out._counts[new_idx] = out._counts.get(new_idx, 0.0) + count
+        return out
+
+    def to_dense(self, limit: int = DEFAULT_DENSIFY_LIMIT) -> FrequencyMatrix:
+        """Materialize as a dense :class:`FrequencyMatrix`.
+
+        Raises
+        ------
+        ValidationError
+            If the dense cell count would exceed ``limit``.
+        """
+        n_cells = int(np.prod(self._shape, dtype=np.int64))
+        if n_cells > limit:
+            raise ValidationError(
+                f"refusing to densify {n_cells} cells (> limit {limit}); "
+                "coarsen() the matrix first"
+            )
+        data = np.zeros(self._shape, dtype=np.float64)
+        for idx, count in self._counts.items():
+            data[idx] = count
+        return FrequencyMatrix(data, self._domain)
+
+    @classmethod
+    def from_dense(cls, matrix: FrequencyMatrix) -> "SparseFrequencyMatrix":
+        """Build from a dense matrix, keeping only non-zero cells."""
+        out = cls(matrix.shape, matrix.domain)
+        for idx, count in matrix.iter_cells():
+            out._counts[idx] = count
+        return out

@@ -1,0 +1,77 @@
+"""Shared input-validation helpers.
+
+These helpers centralize the checks performed at the public-API boundary so
+error messages are consistent across the library.  Internal code paths that
+have already validated their inputs call straight into numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Return ``value`` as ``int`` after checking it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def require_positive_float(value: float, name: str) -> float:
+    """Return ``value`` as ``float`` after checking it is finite and > 0."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def require_fraction(value: float, name: str, *, inclusive: bool = False) -> float:
+    """Return ``value`` after checking it lies in ``(0, 1)`` (or ``[0, 1]``)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a number, got {value!r}") from None
+    low_ok = value >= 0.0 if inclusive else value > 0.0
+    high_ok = value <= 1.0 if inclusive else value < 1.0
+    if not (np.isfinite(value) and low_ok and high_ok):
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValidationError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def require_shape(shape: Sequence[int], name: str = "shape") -> Tuple[int, ...]:
+    """Validate a frequency-matrix shape: non-empty, all dims >= 1."""
+    try:
+        dims = tuple(int(s) for s in shape)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a sequence of integers, got {shape!r}") from None
+    if len(dims) == 0:
+        raise ValidationError(f"{name} must have at least one dimension")
+    for i, s in enumerate(dims):
+        if s < 1:
+            raise ValidationError(f"{name}[{i}] must be >= 1, got {s}")
+    return dims
+
+
+def require_count_array(data: np.ndarray, name: str = "data") -> np.ndarray:
+    """Validate an array of counts: numeric, finite, non-negative.
+
+    Returns a float64 view/copy of ``data``.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 0:
+        raise ValidationError(f"{name} must have at least one dimension")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ValidationError(f"{name} must contain only non-negative counts")
+    return arr

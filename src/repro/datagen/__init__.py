@@ -1,0 +1,50 @@
+"""Data generation: synthetic matrices (Section 6.1) and the Veraset
+substitute city/mobility models (see DESIGN.md, Substitutions)."""
+
+from .cities import (
+    CITY_NAMES,
+    CITY_RESOLUTION,
+    CITY_SIDE_KM,
+    DEFAULT_CITY_POINTS,
+    ActivityCenter,
+    CityModel,
+    get_city,
+    los_angeles_like,
+)
+from .gaussian import (
+    DEFAULT_N_POINTS,
+    gaussian_cluster_points,
+    gaussian_matrix,
+    paper_shape,
+    variance_for_skew,
+)
+from .movement import (
+    DEFAULT_N_TRAJECTORIES,
+    MovementSimulator,
+    simulate_od_dataset,
+)
+from .taxi import TaxiFleetModel, TaxiStand
+from .zipf import zipf_matrix, zipf_points
+
+__all__ = [
+    "ActivityCenter",
+    "CITY_NAMES",
+    "CITY_RESOLUTION",
+    "CITY_SIDE_KM",
+    "CityModel",
+    "DEFAULT_CITY_POINTS",
+    "DEFAULT_N_POINTS",
+    "DEFAULT_N_TRAJECTORIES",
+    "MovementSimulator",
+    "gaussian_cluster_points",
+    "gaussian_matrix",
+    "get_city",
+    "los_angeles_like",
+    "paper_shape",
+    "simulate_od_dataset",
+    "TaxiFleetModel",
+    "TaxiStand",
+    "variance_for_skew",
+    "zipf_matrix",
+    "zipf_points",
+]

@@ -1,0 +1,172 @@
+"""Taxi-fleet trip generator — a public-GPS-style OD workload.
+
+OD-matrix research commonly evaluates on public taxi data (NYC TLC,
+Porto); no such corpus ships offline, so this module synthesizes trips
+with the structural features that make taxi OD matrices distinctive and
+that stress sanitizers differently from commute mobility:
+
+* pickups concentrate at a few *stands* (stations, airport, nightlife)
+  far more sharply than population density;
+* a large share of flow is directional between specific stand pairs
+  (airport <-> centre), so the OD matrix has dominant off-diagonal cells;
+* demand mixes short in-town hops with long airport runs — a bimodal
+  trip-length distribution.
+
+Trips optionally record one intermediate waypoint (e.g. a via-stop or
+shared-ride pickup) so the stops machinery is exercised too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..dp.rng import RNGLike, ensure_rng
+from ..trajectories.grid import SpatialGrid
+from ..trajectories.trajectory import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class TaxiStand:
+    """A pickup/dropoff hotspot: location (km), spread (km), demand weight."""
+
+    x: float
+    y: float
+    std_km: float
+    weight: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.std_km <= 0:
+            raise ValidationError(f"std_km must be positive, got {self.std_km}")
+        if self.weight <= 0:
+            raise ValidationError(f"weight must be positive, got {self.weight}")
+
+
+class TaxiFleetModel:
+    """Synthesizes taxi trips over a square city.
+
+    Parameters
+    ----------
+    stands:
+        Pickup/dropoff hotspots.  Defaults to a downtown core, a rail
+        station, an airport on the periphery, and a nightlife strip.
+    side_km:
+        City extent (matches the paper's 70 km square by default).
+    street_hail_fraction:
+        Share of pickups drawn uniformly anywhere (street hails) rather
+        than at stands.
+    pair_affinity:
+        Strength of directional stand-to-stand flow: with this
+        probability a trip's dropoff is drawn from the stand *paired*
+        with its pickup stand (ring pairing), otherwise from the overall
+        stand mix.
+    """
+
+    def __init__(
+        self,
+        stands: Sequence[TaxiStand] | None = None,
+        side_km: float = 70.0,
+        street_hail_fraction: float = 0.25,
+        pair_affinity: float = 0.5,
+    ):
+        if side_km <= 0:
+            raise ValidationError(f"side_km must be positive, got {side_km}")
+        if not 0.0 <= street_hail_fraction <= 1.0:
+            raise ValidationError(
+                f"street_hail_fraction must be in [0, 1], got "
+                f"{street_hail_fraction}"
+            )
+        if not 0.0 <= pair_affinity <= 1.0:
+            raise ValidationError(
+                f"pair_affinity must be in [0, 1], got {pair_affinity}"
+            )
+        if stands is None:
+            c = side_km / 2
+            stands = (
+                TaxiStand(c, c, 1.5, 10.0, "downtown"),
+                TaxiStand(c - 6, c + 4, 1.0, 6.0, "rail_station"),
+                TaxiStand(c + 22, c - 18, 2.0, 5.0, "airport"),
+                TaxiStand(c - 4, c - 7, 1.2, 4.0, "nightlife"),
+            )
+        if not stands:
+            raise ValidationError("need at least one taxi stand")
+        self.stands: Tuple[TaxiStand, ...] = tuple(stands)
+        self.side_km = float(side_km)
+        self.street_hail_fraction = float(street_hail_fraction)
+        self.pair_affinity = float(pair_affinity)
+
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> SpatialGrid:
+        return SpatialGrid.city(1000, self.side_km)
+
+    def _stand_weights(self) -> np.ndarray:
+        w = np.array([s.weight for s in self.stands])
+        return w / w.sum()
+
+    def _sample_at_stands(
+        self, assignment: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        means = np.array([[s.x, s.y] for s in self.stands])
+        stds = np.array([s.std_km for s in self.stands])
+        pts = means[assignment] + gen.normal(
+            0.0, 1.0, size=(assignment.size, 2)
+        ) * stds[assignment][:, None]
+        return pts
+
+    # ------------------------------------------------------------------
+    def sample_trips(
+        self,
+        n_trips: int,
+        with_waypoint: bool = False,
+        rng: RNGLike = None,
+    ) -> TrajectoryDataset:
+        """Sample a trip dataset; each trip records 2 points (pickup,
+        dropoff) or 3 when ``with_waypoint`` is set."""
+        if n_trips < 1:
+            raise ValidationError(f"n_trips must be >= 1, got {n_trips}")
+        gen = ensure_rng(rng)
+        k = len(self.stands)
+        weights = self._stand_weights()
+
+        pickup_stand = gen.choice(k, size=n_trips, p=weights)
+        pickups = self._sample_at_stands(pickup_stand, gen)
+        hail = gen.random(n_trips) < self.street_hail_fraction
+        pickups[hail] = gen.uniform(0, self.side_km, size=(int(hail.sum()), 2))
+
+        # Dropoffs: paired stand with pair_affinity, else the global mix.
+        paired_stand = (pickup_stand + 1) % k
+        mixed_stand = gen.choice(k, size=n_trips, p=weights)
+        use_pair = gen.random(n_trips) < self.pair_affinity
+        dropoff_stand = np.where(use_pair, paired_stand, mixed_stand)
+        dropoffs = self._sample_at_stands(dropoff_stand, gen)
+
+        if with_waypoint:
+            t = gen.uniform(0.25, 0.75, size=(n_trips, 1))
+            waypoints = pickups + t * (dropoffs - pickups)
+            waypoints += gen.normal(0.0, 1.0, size=(n_trips, 2))
+            points = np.stack([pickups, waypoints, dropoffs], axis=1)
+        else:
+            points = np.stack([pickups, dropoffs], axis=1)
+        np.clip(points, 0.0, np.nextafter(self.side_km, 0.0), out=points)
+        return TrajectoryDataset(points)
+
+    def stand_regions(
+        self, radius_km: float = 3.0
+    ) -> List[Tuple[str, Tuple[Tuple[float, float], Tuple[float, float]]]]:
+        """Named bounding-box regions around each stand, for OD queries."""
+        if radius_km <= 0:
+            raise ValidationError(f"radius_km must be positive, got {radius_km}")
+        out = []
+        for i, s in enumerate(self.stands):
+            name = s.name or f"stand{i}"
+            out.append((
+                name,
+                ((s.x - radius_km, s.x + radius_km),
+                 (s.y - radius_km, s.y + radius_km)),
+            ))
+        return out

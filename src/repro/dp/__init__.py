@@ -1,0 +1,43 @@
+"""Differential-privacy substrate: mechanisms, budgets, allocation, rng."""
+
+from .allocation import (
+    ROOT_BUDGET_FRACTION,
+    allocation_noise_variance,
+    geometric_level_budgets,
+    level_budget,
+    root_budget,
+    uniform_level_budgets,
+)
+from .budget import BudgetLedger, Charge, split_budget
+from .mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    geometric_noise,
+    laplace_noise,
+    laplace_scale,
+    laplace_variance,
+    report_noisy_min,
+)
+from .rng import RNGLike, ensure_rng, spawn
+
+__all__ = [
+    "BudgetLedger",
+    "Charge",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "RNGLike",
+    "ROOT_BUDGET_FRACTION",
+    "allocation_noise_variance",
+    "ensure_rng",
+    "geometric_level_budgets",
+    "geometric_noise",
+    "laplace_noise",
+    "laplace_scale",
+    "laplace_variance",
+    "level_budget",
+    "report_noisy_min",
+    "root_budget",
+    "spawn",
+    "split_budget",
+    "uniform_level_budgets",
+]

@@ -1,0 +1,94 @@
+"""Per-level privacy-budget allocation for hierarchical methods (paper §4.4).
+
+With a root fanout ``m0`` and a geometric fanout progression, level ``i`` of
+a depth-``d`` DAF tree holds ~``m0^i`` nodes.  Minimizing the summed noise
+variance ``sum_i m0^i / eps_i^2`` subject to ``sum_i eps_i = eps'`` (Eq. 29,
+solved via the Lagrangian in Eq. 30-31) yields
+
+    eps_i = eps' * m0^{i/3} / sum_{j=1..d} m0^{j/3}          (Eq. 32)
+
+so deeper levels — whose sanitized leaves are what gets published — receive
+geometrically more budget.  The root's own count is sanitized separately
+with ``eps_0 = eps_tot / 100`` (Eq. 33).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.exceptions import BudgetError
+
+#: The paper's root-budget fraction (Eq. 33).
+ROOT_BUDGET_FRACTION = 0.01
+
+
+def root_budget(epsilon_total: float) -> float:
+    """``eps_0 = eps_tot / 100`` used to sanitize the root count (Eq. 33)."""
+    if epsilon_total <= 0:
+        raise BudgetError(f"epsilon_total must be positive, got {epsilon_total}")
+    return epsilon_total * ROOT_BUDGET_FRACTION
+
+
+def geometric_level_budgets(
+    epsilon_prime: float, m0: float, depth: int
+) -> List[float]:
+    """Optimal per-level budgets ``[eps_1, ..., eps_depth]`` per Eq. (32).
+
+    Parameters
+    ----------
+    epsilon_prime:
+        Budget remaining after the root charge (``eps_tot - eps_0``).
+    m0:
+        Root fanout estimate; the assumed geometric progression ratio.
+        ``m0 = 1`` degenerates gracefully to a uniform split.
+    depth:
+        Number of tree levels below the root (the matrix dimensionality
+        ``d`` for DAF).
+    """
+    if epsilon_prime <= 0:
+        raise BudgetError(f"epsilon_prime must be positive, got {epsilon_prime}")
+    if depth < 1:
+        raise BudgetError(f"depth must be >= 1, got {depth}")
+    if m0 < 1 or not math.isfinite(m0):
+        raise BudgetError(f"m0 must be >= 1 and finite, got {m0}")
+    weights = [m0 ** (i / 3.0) for i in range(1, depth + 1)]
+    total = sum(weights)
+    budgets = [epsilon_prime * w / total for w in weights]
+    # Absorb float residue into the last (largest) level so the sum is exact.
+    budgets[-1] = epsilon_prime - sum(budgets[:-1])
+    return budgets
+
+
+def level_budget(epsilon_prime: float, m0: float, depth: int, level: int) -> float:
+    """Budget of one level, ``eps_level`` (1-based), per Eq. (32).
+
+    Matches Algorithm 2 line 13 / Algorithm 3 line 17, which compute the
+    budget for the node's own depth via the closed geometric-series form.
+    """
+    if not 1 <= level <= depth:
+        raise BudgetError(f"level must be in [1, {depth}], got {level}")
+    return geometric_level_budgets(epsilon_prime, m0, depth)[level - 1]
+
+
+def uniform_level_budgets(epsilon_prime: float, depth: int) -> List[float]:
+    """Equal-per-level split, the natural ablation baseline for Eq. (32)."""
+    if epsilon_prime <= 0:
+        raise BudgetError(f"epsilon_prime must be positive, got {epsilon_prime}")
+    if depth < 1:
+        raise BudgetError(f"depth must be >= 1, got {depth}")
+    part = epsilon_prime / depth
+    budgets = [part] * depth
+    budgets[-1] = epsilon_prime - part * (depth - 1)
+    return budgets
+
+
+def allocation_noise_variance(budgets: List[float], m0: float) -> float:
+    """The objective of Eq. (29): ``sum_i m0^i / eps_i^2``.
+
+    Exposed so tests can verify the geometric allocation is optimal among
+    alternatives (it must score <= any other feasible allocation).
+    """
+    if any(b <= 0 for b in budgets):
+        raise BudgetError("all level budgets must be positive")
+    return sum(m0 ** (i + 1) / b**2 for i, b in enumerate(budgets))

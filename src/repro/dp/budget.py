@@ -1,0 +1,146 @@
+"""Privacy-budget accounting.
+
+Sequential composition (Section 2.1) says budgets of successive mechanisms
+on the *same* data add up; parallel composition says mechanisms on
+*disjoint* partitions cost only the maximum.  :class:`BudgetLedger` tracks
+both: charges are grouped by a ``scope`` label, charges in different scopes
+compose sequentially, and charges within one scope are declared parallel
+(disjoint data) so the scope costs its per-item maximum.
+
+Every sanitizer in :mod:`repro.methods` records its spending in a ledger and
+asserts ``ledger.total_spent() <= epsilon_total`` before returning — the
+test suite verifies this bound holds for every method and configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.exceptions import BudgetError
+
+#: Tolerance for floating-point budget comparisons.
+EPS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One recorded privacy expenditure."""
+
+    scope: str
+    epsilon: float
+    note: str = ""
+
+
+@dataclass
+class BudgetLedger:
+    """Tracks privacy spending against a total budget ``epsilon_total``.
+
+    Parameters
+    ----------
+    epsilon_total:
+        The overall budget the producing mechanism must not exceed.
+    strict:
+        When True (default) a charge that would push the composed total over
+        ``epsilon_total`` raises :class:`BudgetError` immediately.
+    """
+
+    epsilon_total: float
+    strict: bool = True
+    _charges: List[Charge] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_total <= 0:
+            raise BudgetError(
+                f"epsilon_total must be positive, got {self.epsilon_total}"
+            )
+
+    # ------------------------------------------------------------------
+    def charge(self, epsilon: float, scope: str = "", note: str = "") -> float:
+        """Record a sequential-composition charge and return ``epsilon``.
+
+        ``scope`` groups parallel charges: all charges sharing a non-empty
+        scope are assumed to act on pairwise-disjoint partitions of the
+        data, so the scope's composed cost is the maximum charge in it.
+        The empty scope composes sequentially charge-by-charge.
+        """
+        if epsilon <= 0:
+            raise BudgetError(f"charge must be positive, got {epsilon}")
+        candidate = self._composed_total(extra=(scope, epsilon))
+        if self.strict and candidate > self.epsilon_total + EPS_TOL:
+            raise BudgetError(
+                f"charge of {epsilon:g} in scope {scope!r} would raise the "
+                f"composed total to {candidate:g} > budget {self.epsilon_total:g}"
+            )
+        self._charges.append(Charge(scope, float(epsilon), note))
+        return float(epsilon)
+
+    def _composed_total(self, extra: Tuple[str, float] | None = None) -> float:
+        sequential = 0.0
+        scopes: Dict[str, float] = {}
+        charges: List[Tuple[str, float]] = [(c.scope, c.epsilon) for c in self._charges]
+        if extra is not None:
+            charges.append(extra)
+        for scope, eps in charges:
+            if scope:
+                scopes[scope] = max(scopes.get(scope, 0.0), eps)
+            else:
+                sequential += eps
+        return sequential + sum(scopes.values())
+
+    # ------------------------------------------------------------------
+    def total_spent(self) -> float:
+        """Composed total under sequential + parallel composition."""
+        return self._composed_total()
+
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self.epsilon_total - self.total_spent())
+
+    @property
+    def charges(self) -> Tuple[Charge, ...]:
+        return tuple(self._charges)
+
+    def scope_spent(self, scope: str) -> float:
+        """Composed cost of a single scope (max for parallel scopes)."""
+        eps = [c.epsilon for c in self._charges if c.scope == scope]
+        if not eps:
+            return 0.0
+        return max(eps) if scope else sum(eps)
+
+    def assert_within_budget(self) -> None:
+        """Raise :class:`BudgetError` if composed spending exceeds the total."""
+        spent = self.total_spent()
+        if spent > self.epsilon_total + EPS_TOL:
+            raise BudgetError(
+                f"composed spending {spent:g} exceeds budget {self.epsilon_total:g}"
+            )
+
+    def summary(self) -> Dict[str, float]:
+        """Per-scope composed costs plus the overall total."""
+        out: Dict[str, float] = {}
+        for c in self._charges:
+            key = c.scope or "<sequential>"
+            if c.scope:
+                out[key] = max(out.get(key, 0.0), c.epsilon)
+            else:
+                out[key] = out.get(key, 0.0) + c.epsilon
+        out["<total>"] = self.total_spent()
+        return out
+
+
+def split_budget(epsilon: float, fractions: List[float]) -> List[float]:
+    """Split ``epsilon`` into parts proportional to ``fractions``.
+
+    Fractions must be positive; they are normalized, so ``[1, 1]`` halves
+    the budget.  The parts sum to ``epsilon`` exactly (last part absorbs
+    float residue).
+    """
+    if epsilon <= 0:
+        raise BudgetError(f"epsilon must be positive, got {epsilon}")
+    if not fractions or any(f <= 0 for f in fractions):
+        raise BudgetError("fractions must be a non-empty list of positives")
+    total = float(sum(fractions))
+    parts = [epsilon * f / total for f in fractions]
+    parts[-1] = epsilon - sum(parts[:-1])
+    return parts

@@ -1,0 +1,41 @@
+"""Randomness handling.
+
+All stochastic code in the library takes an explicit
+``numpy.random.Generator`` so experiments are reproducible from a single
+seed.  ``ensure_rng`` normalizes the accepted spellings (``None``, an int
+seed, or an existing Generator); ``spawn`` derives independent child
+generators for parallel sub-tasks without correlated streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RNGLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RNGLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted input.
+
+    ``None`` gives fresh OS entropy; an int is used as a seed; an existing
+    generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator, got {type(rng).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

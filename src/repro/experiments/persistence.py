@@ -1,0 +1,103 @@
+"""Saving and loading experiment results.
+
+Figure regeneration at paper scale is expensive; these helpers persist
+result rows as JSON (lossless) or CSV (spreadsheet-friendly) so runs can
+be captured once and re-rendered or diffed later.  ``EXPERIMENTS.md`` is
+generated from saved runs via :func:`results_to_markdown`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence
+
+from ..core.exceptions import ValidationError
+from .figures import FigureResult
+
+
+def save_result_json(result: FigureResult, path: str | Path) -> None:
+    """Serialize a :class:`FigureResult` to JSON."""
+    payload = {
+        "figure_id": result.figure_id,
+        "description": result.description,
+        "rows": result.rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, default=str))
+
+
+def load_result_json(path: str | Path) -> FigureResult:
+    """Inverse of :func:`save_result_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        return FigureResult(
+            figure_id=str(payload["figure_id"]),
+            description=str(payload["description"]),
+            rows=list(payload["rows"]),
+        )
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        raise ValidationError(f"cannot load result from {path}: {exc}") from exc
+
+
+def save_rows_csv(
+    rows: Sequence[Mapping[str, object]], path: str | Path
+) -> None:
+    """Write result rows as CSV (columns = union of row keys)."""
+    if not rows:
+        raise ValidationError("no rows to save")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+
+
+def load_rows_csv(path: str | Path) -> List[Dict[str, object]]:
+    """Read rows back, converting numeric-looking fields to float."""
+    out: List[Dict[str, object]] = []
+    try:
+        with open(path, newline="") as fh:
+            for raw in csv.DictReader(fh):
+                row: Dict[str, object] = {}
+                for key, value in raw.items():
+                    try:
+                        row[key] = float(value)
+                    except (TypeError, ValueError):
+                        row[key] = value
+                out.append(row)
+    except OSError as exc:
+        raise ValidationError(f"cannot load rows from {path}: {exc}") from exc
+    return out
+
+
+def results_to_markdown(
+    results: Mapping[str, FigureResult],
+    value: str = "mre",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render a set of figure results as Markdown tables (one section per
+    artifact) — the format EXPERIMENTS.md uses."""
+    sections: List[str] = []
+    for name, result in results.items():
+        sections.append(f"### {name}\n\n{result.description}\n")
+        if not result.rows:
+            sections.append("(no rows)\n")
+            continue
+        columns = [c for c in result.rows[0] if c not in ("mre_std", "n_trials")]
+        header = "| " + " | ".join(columns) + " |"
+        sep = "|" + "|".join("---" for _ in columns) + "|"
+        lines = [header, sep]
+        for row in result.rows:
+            cells = []
+            for col in columns:
+                v = row.get(col, "")
+                cells.append(floatfmt.format(v) if isinstance(v, float) else str(v))
+            lines.append("| " + " | ".join(cells) + " |")
+        sections.append("\n".join(lines) + "\n")
+    return "\n".join(sections)

@@ -1,0 +1,100 @@
+"""Plain-text rendering of experiment results.
+
+No plotting dependencies are available offline, so every figure is
+reported as the table of series it plots: one row per x-axis value, one
+column per method — exactly the information content of the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    *,
+    floatfmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table of the given columns."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                line.append(floatfmt.format(value))
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)
+
+
+def pivot(
+    rows: Sequence[Mapping[str, object]],
+    index: str,
+    column: str,
+    value: str = "mre",
+    floatfmt: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Render rows as a 2-D pivot: one line per ``index`` value, one column
+    per ``column`` value — the shape of one figure panel."""
+    index_values: List[object] = []
+    column_values: List[object] = []
+    cells: Dict[tuple, object] = {}
+    for row in rows:
+        iv, cv = row[index], row[column]
+        if iv not in index_values:
+            index_values.append(iv)
+        if cv not in column_values:
+            column_values.append(cv)
+        cells[(iv, cv)] = row.get(value, "")
+    table_rows = []
+    for iv in index_values:
+        entry: Dict[str, object] = {index: iv}
+        for cv in column_values:
+            entry[str(cv)] = cells.get((iv, cv), "")
+        table_rows.append(entry)
+    columns = [index] + [str(c) for c in column_values]
+    return format_table(table_rows, columns, floatfmt=floatfmt, title=title)
+
+
+def summarize_winner(
+    rows: Sequence[Mapping[str, object]],
+    group_keys: Sequence[str],
+    method_key: str = "method",
+    value_key: str = "mre",
+) -> List[Dict[str, object]]:
+    """Per group, which method achieved the lowest value (the "who wins"
+    shape check the reproduction asserts)."""
+    groups: Dict[tuple, List[Mapping[str, object]]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in group_keys)
+        groups.setdefault(key, []).append(row)
+    out: List[Dict[str, object]] = []
+    for key, members in groups.items():
+        best = min(members, key=lambda r: float(r[value_key]))
+        entry = dict(zip(group_keys, key))
+        entry["winner"] = best[method_key]
+        entry[value_key] = best[value_key]
+        out.append(entry)
+    return out

@@ -1,0 +1,131 @@
+"""The experiment runner: methods x budgets x workloads -> result rows.
+
+One :class:`ResultRow` per (method, epsilon, workload, trial) carrying the
+accuracy report and the sanitization wall-clock (Table 3's metric).  Rows
+are plain data; :mod:`repro.experiments.reporting` renders them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.frequency_matrix import FrequencyMatrix
+from ..dp.rng import RNGLike, ensure_rng, spawn
+from ..methods.registry import get_sanitizer
+from ..queries.evaluator import WorkloadEvaluator
+from ..queries.metrics import AccuracyReport
+from ..queries.workload import Workload
+from .config import MethodSpec
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One measured data point."""
+
+    method: str
+    epsilon: float
+    workload: str
+    trial: int
+    report: AccuracyReport
+    sanitize_seconds: float
+    n_partitions: int
+    extra: Dict[str, object]
+
+    @property
+    def mre(self) -> float:
+        return self.report.mre
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "workload": self.workload,
+            "trial": self.trial,
+            "sanitize_seconds": self.sanitize_seconds,
+            "n_partitions": self.n_partitions,
+        }
+        out.update(self.report.as_dict())
+        out.update(self.extra)
+        return out
+
+
+def run_methods(
+    matrix: FrequencyMatrix,
+    method_specs: Sequence[MethodSpec],
+    epsilons: Sequence[float],
+    workloads: Sequence[Workload],
+    n_trials: int = 1,
+    rng: RNGLike = None,
+    extra: Dict[str, object] | None = None,
+) -> List[ResultRow]:
+    """Evaluate every (method, epsilon) pair on every workload.
+
+    Each trial re-runs sanitization with an independent child generator;
+    the ground truth is computed once and cached.
+    """
+    gen = ensure_rng(rng)
+    evaluator = WorkloadEvaluator(matrix)
+    rows: List[ResultRow] = []
+    extra = dict(extra or {})
+    for spec in method_specs:
+        for epsilon in epsilons:
+            for trial, child in enumerate(spawn(gen, n_trials)):
+                sanitizer = get_sanitizer(spec.name, **spec.as_kwargs())
+                start = time.perf_counter()
+                private = sanitizer.sanitize(matrix, epsilon, child)
+                elapsed = time.perf_counter() - start
+                for workload in workloads:
+                    result = evaluator.evaluate(private, workload)
+                    rows.append(
+                        ResultRow(
+                            method=spec.label,
+                            epsilon=float(epsilon),
+                            workload=workload.name,
+                            trial=trial,
+                            report=result.report,
+                            sanitize_seconds=elapsed,
+                            n_partitions=private.n_partitions,
+                            extra=extra,
+                        )
+                    )
+    return rows
+
+
+def mean_mre(rows: Iterable[ResultRow]) -> float:
+    """Average MRE across rows (e.g. across trials)."""
+    values = [r.mre for r in rows]
+    if not values:
+        raise ValueError("no rows to average")
+    return float(np.mean(values))
+
+
+def aggregate_rows(
+    rows: Sequence[ResultRow], keys: Sequence[str] = ("method", "epsilon", "workload")
+) -> List[Dict[str, object]]:
+    """Group rows by ``keys`` and average MRE and runtime across trials."""
+    groups: Dict[tuple, List[ResultRow]] = {}
+    for row in rows:
+        d = row.as_dict()
+        key = tuple(d[k] for k in keys)
+        groups.setdefault(key, []).append(row)
+    out: List[Dict[str, object]] = []
+    for key, members in groups.items():
+        entry: Dict[str, object] = dict(zip(keys, key))
+        entry["mre"] = float(np.mean([m.mre for m in members]))
+        entry["mre_std"] = float(np.std([m.mre for m in members]))
+        entry["sanitize_seconds"] = float(
+            np.mean([m.sanitize_seconds for m in members])
+        )
+        entry["n_partitions"] = float(
+            np.mean([m.n_partitions for m in members])
+        )
+        entry["n_trials"] = len(members)
+        if members and members[0].extra:
+            for k, v in members[0].extra.items():
+                entry.setdefault(k, v)
+        out.append(entry)
+    return out

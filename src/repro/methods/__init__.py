@@ -1,0 +1,97 @@
+"""Sanitization methods: the paper's Table 2 set plus extensions."""
+
+from .ag import AdaptiveGrid
+from .base import Sanitizer
+from .daf import (
+    AllStop,
+    AnyStop,
+    CountThreshold,
+    DAFBase,
+    DAFEntropy,
+    DAFHomogeneity,
+    DAFNode,
+    NeverStop,
+    NoiseAdaptiveThreshold,
+    SparsityStop,
+    StopCondition,
+    daf_granularity,
+    homogeneity_objective,
+)
+from .ebp import EBP
+from .eug import EUG
+from .granularity import (
+    DEFAULT_C0,
+    clamp_granularity,
+    ebp_granularity,
+    eug_granularity,
+    mkm_granularity,
+)
+from .identity import Identity
+from .kdtree import KDTree, exponential_median_split
+from .mkm import MKM
+from .privlet import (
+    Privlet,
+    haar_axis_weights,
+    haar_forward_axis,
+    haar_inverse_axis,
+    haar_level_count,
+)
+from .quadtree import Quadtree, binary_intervals
+from .spacefilling import (
+    SpaceFillingCurve,
+    adaptive_1d_runs,
+    morton_order,
+)
+from .registry import (
+    EXTENSION_METHODS,
+    PAPER_METHODS,
+    available_methods,
+    get_sanitizer,
+    register,
+)
+from .uniform import Uniform
+
+__all__ = [
+    "AdaptiveGrid",
+    "AllStop",
+    "AnyStop",
+    "CountThreshold",
+    "DAFBase",
+    "DAFEntropy",
+    "DAFHomogeneity",
+    "DAFNode",
+    "DEFAULT_C0",
+    "EBP",
+    "EUG",
+    "EXTENSION_METHODS",
+    "Identity",
+    "KDTree",
+    "MKM",
+    "NeverStop",
+    "NoiseAdaptiveThreshold",
+    "PAPER_METHODS",
+    "Privlet",
+    "Quadtree",
+    "Sanitizer",
+    "SpaceFillingCurve",
+    "SparsityStop",
+    "StopCondition",
+    "Uniform",
+    "available_methods",
+    "binary_intervals",
+    "clamp_granularity",
+    "daf_granularity",
+    "ebp_granularity",
+    "eug_granularity",
+    "exponential_median_split",
+    "get_sanitizer",
+    "haar_forward_axis",
+    "haar_inverse_axis",
+    "haar_axis_weights",
+    "haar_level_count",
+    "homogeneity_objective",
+    "mkm_granularity",
+    "morton_order",
+    "adaptive_1d_runs",
+    "register",
+]

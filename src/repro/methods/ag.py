@@ -1,0 +1,166 @@
+"""Adaptive Grid (AG) [Qardaji, Yang, Li 2013; ref. 15].
+
+The hybrid companion of UG that the paper cites ("UG and AG [15]"): a
+coarse level-1 uniform grid is laid data-independently from the sanitized
+total, then every level-1 cell whose noisy count warrants it is refined by
+a level-2 grid sized from that cell's own noisy count.  Generalized here
+from the original 2-D formulation to arbitrary dimensionality using the
+same analytical granularities as EUG (Eq. 8/13), with the original's
+conventions: budget split ``alpha`` between levels (0.5), level-1
+granularity halved relative to the single-level optimum, and a smaller
+uniformity constant at level 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.exceptions import MethodError
+from ..core.frequency_matrix import Box, FrequencyMatrix, box_slices
+from ..core.partition import Partition, Partitioning, grid_boxes
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.budget import BudgetLedger
+from ..dp.mechanisms import laplace_noise
+from ._grid import sanitized_total
+from .base import Sanitizer
+from .granularity import DEFAULT_C0, clamp_granularity, eug_granularity
+
+
+class AdaptiveGrid(Sanitizer):
+    """Two-level adaptive grid (AG), generalized to d dimensions.
+
+    Parameters
+    ----------
+    alpha:
+        Fraction of the (post-estimate) budget spent on level-1 counts;
+        the remainder sanitizes level-2 cells.  The original uses 0.5.
+    eps0_fraction:
+        Budget fraction for the initial total-count estimate.
+    c0:
+        Level-1 uniformity constant (EUG's default).  Level 2 uses
+        ``c0 / 2`` per the original's guidance that refinement tolerates
+        finer granularity.
+    min_refine_count:
+        Level-1 cells whose noisy count falls below this threshold are
+        not refined (their level-2 grid would be all noise).
+    """
+
+    name = "ag"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        eps0_fraction: float = 0.01,
+        c0: float = DEFAULT_C0,
+        min_refine_count: float = 0.0,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise MethodError(f"alpha must be in (0, 1), got {alpha}")
+        if not 0.0 < eps0_fraction < 1.0:
+            raise MethodError(
+                f"eps0_fraction must be in (0, 1), got {eps0_fraction}"
+            )
+        if c0 <= 0:
+            raise MethodError(f"c0 must be positive, got {c0}")
+        self.alpha = float(alpha)
+        self.eps0_fraction = float(eps0_fraction)
+        self.c0 = float(c0)
+        self.min_refine_count = float(min_refine_count)
+
+    # ------------------------------------------------------------------
+    def _sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        rng: np.random.Generator,
+    ) -> PrivateFrequencyMatrix:
+        epsilon = ledger.epsilon_total
+        eps0 = epsilon * self.eps0_fraction
+        eps_rest = epsilon - eps0
+        eps1 = self.alpha * eps_rest
+        eps2 = eps_rest - eps1
+
+        n_hat = sanitized_total(matrix, eps0, ledger, rng)
+        d = matrix.ndim
+        # Level-1 granularity: half the single-level optimum (AG's rule).
+        m1_raw = eug_granularity(n_hat, eps_rest, d, c0=self.c0) / 2.0
+        m1 = clamp_granularity(max(m1_raw, 1.0), max(matrix.shape))
+        level1_boxes = grid_boxes(matrix.shape, [m1] * d)
+
+        ledger.charge(eps1, scope="ag-level1", note=f"{len(level1_boxes)} cells")
+        ledger.charge(eps2, scope="ag-level2", note="refined cells")
+
+        partitions: List[Partition] = []
+        n_refined = 0
+        for box in level1_boxes:
+            view = matrix.data[box_slices(box)]
+            true1 = float(view.sum())
+            noisy1 = true1 + laplace_noise(1.0, eps1, rng)
+            m2 = self._level2_granularity(noisy1, eps2, box, d)
+            if m2 <= 1 or noisy1 < self.min_refine_count:
+                # Publish the level-1 cell; fold the unused level-2 noise
+                # budget into nothing (the cell keeps its eps1 estimate).
+                partitions.append(Partition(box, noisy1, true1))
+                continue
+            n_refined += 1
+            partitions.extend(self._refine(matrix, box, m2, eps2, rng))
+
+        meta: Dict[str, object] = {
+            "m1": m1,
+            "n_hat": n_hat,
+            "alpha": self.alpha,
+            "n_level1_cells": len(level1_boxes),
+            "n_refined": n_refined,
+            "n_partitions": len(partitions),
+        }
+        return PrivateFrequencyMatrix(
+            Partitioning(partitions, matrix.shape, validate=False),
+            matrix.domain,
+            epsilon=epsilon,
+            method=self.name,
+            metadata=meta,
+        )
+
+    # ------------------------------------------------------------------
+    def _level2_granularity(
+        self, noisy_count: float, eps2: float, box: Box, d: int
+    ) -> int:
+        if noisy_count <= 0:
+            return 1
+        m2_raw = eug_granularity(noisy_count, eps2, d, c0=self.c0 / 2.0)
+        max_width = max(hi - lo + 1 for lo, hi in box)
+        return clamp_granularity(m2_raw, max_width)
+
+    def _refine(
+        self,
+        matrix: FrequencyMatrix,
+        box: Box,
+        m2: int,
+        eps2: float,
+        rng: np.random.Generator,
+    ) -> List[Partition]:
+        """Level-2 uniform grid inside one level-1 cell."""
+        widths = [hi - lo + 1 for lo, hi in box]
+        inner = grid_boxes(tuple(widths), [m2] * len(widths))
+        out: List[Partition] = []
+        for ib in inner:
+            absolute = tuple(
+                (lo + ilo, lo + ihi)
+                for (lo, _), (ilo, ihi) in zip(box, ib)
+            )
+            true = float(matrix.data[box_slices(absolute)].sum())
+            out.append(
+                Partition(absolute, true + laplace_noise(1.0, eps2, rng), true)
+            )
+        return out
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "alpha": self.alpha,
+            "eps0_fraction": self.eps0_fraction,
+            "c0": self.c0,
+            "min_refine_count": self.min_refine_count,
+        }

@@ -1,0 +1,79 @@
+"""The common interface every sanitization method implements.
+
+A :class:`Sanitizer` consumes a :class:`~repro.core.FrequencyMatrix` and a
+total privacy budget and returns a
+:class:`~repro.core.PrivateFrequencyMatrix`.  Implementations must:
+
+* never mutate the input matrix;
+* record every expenditure in a :class:`~repro.dp.BudgetLedger` and stay
+  within the total (the returned object carries the ledger summary in its
+  metadata);
+* route all randomness through the ``rng`` argument.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from ..core.exceptions import MethodError, ValidationError
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.budget import BudgetLedger
+from ..dp.rng import RNGLike, ensure_rng
+
+
+class Sanitizer(abc.ABC):
+    """Abstract base class for frequency-matrix sanitizers."""
+
+    #: Registry symbol; subclasses override (``"eug"``, ``"daf_entropy"``...).
+    name: str = ""
+
+    def sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        epsilon: float,
+        rng: RNGLike = None,
+    ) -> PrivateFrequencyMatrix:
+        """Produce an ``epsilon``-DP private version of ``matrix``.
+
+        This wrapper validates inputs, builds the budget ledger, delegates
+        to :meth:`_sanitize` and verifies the ledger afterwards.
+        """
+        if not isinstance(matrix, FrequencyMatrix):
+            raise ValidationError(
+                f"matrix must be a FrequencyMatrix, got {type(matrix).__name__}"
+            )
+        if not (epsilon > 0):
+            raise ValidationError(f"epsilon must be positive, got {epsilon}")
+        ledger = BudgetLedger(epsilon_total=float(epsilon))
+        generator = ensure_rng(rng)
+        result = self._sanitize(matrix, ledger, generator)
+        ledger.assert_within_budget()
+        if result.shape != matrix.shape:
+            raise MethodError(
+                f"{self.name or type(self).__name__} returned shape "
+                f"{result.shape} for input shape {matrix.shape}"
+            )
+        result._metadata.setdefault("budget_summary", ledger.summary())
+        return result
+
+    @abc.abstractmethod
+    def _sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        rng,
+    ) -> PrivateFrequencyMatrix:
+        """Method-specific sanitization; must charge ``ledger`` as it spends."""
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Human-readable configuration summary (used in reports)."""
+        return {"name": self.name or type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in self.describe().items() if k != "name"
+        )
+        return f"{type(self).__name__}({params})"

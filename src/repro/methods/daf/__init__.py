@@ -1,0 +1,34 @@
+"""Density-Aware Framework (paper Section 4)."""
+
+from .boosting import apply_boosting, boost_tree_consistency
+from .entropy import DAFEntropy
+from .framework import DAFBase, daf_granularity
+from .homogeneity import DAFHomogeneity, homogeneity_objective
+from .node import DAFNode
+from .stop import (
+    AllStop,
+    AnyStop,
+    CountThreshold,
+    NeverStop,
+    NoiseAdaptiveThreshold,
+    SparsityStop,
+    StopCondition,
+)
+
+__all__ = [
+    "AllStop",
+    "apply_boosting",
+    "boost_tree_consistency",
+    "AnyStop",
+    "CountThreshold",
+    "DAFBase",
+    "DAFEntropy",
+    "DAFHomogeneity",
+    "DAFNode",
+    "NeverStop",
+    "NoiseAdaptiveThreshold",
+    "SparsityStop",
+    "StopCondition",
+    "daf_granularity",
+    "homogeneity_objective",
+]

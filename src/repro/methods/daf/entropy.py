@@ -1,0 +1,18 @@
+"""DAF-Entropy (paper Section 4.2, Algorithm 2).
+
+The fanout at every node comes from the entropy-balanced granularity
+formula (Eq. 19) applied to the node's sanitized count and the remaining
+dimensions; split points are uniform.  All behaviour lives in
+:class:`~repro.methods.daf.framework.DAFBase` — DAF-Entropy is exactly the
+base engine.
+"""
+
+from __future__ import annotations
+
+from .framework import DAFBase
+
+
+class DAFEntropy(DAFBase):
+    """Density-Aware Framework with entropy-driven fanout, uniform splits."""
+
+    name = "daf_entropy"

@@ -1,0 +1,97 @@
+"""Tree nodes for the Density-Aware Framework (paper Section 4.1).
+
+Each node covers an axis-aligned box of the frequency matrix; children are
+a non-overlapping split of the parent's box along the dimension equal to
+the parent's depth.  Nodes keep the attributes Algorithm 2 manipulates
+(``F`` as the box, ``count``, ``ncount``, ``depth``) plus bookkeeping used
+for budget verification and visualization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ...core.frequency_matrix import Box, box_n_cells
+
+
+@dataclass
+class DAFNode:
+    """One node of a DAF tree."""
+
+    box: Box
+    depth: int
+    count: float
+    ncount: float = 0.0
+    children: List["DAFNode"] = field(default_factory=list)
+    #: Dimension this node's children split (== depth), None for leaves.
+    split_axis: Optional[int] = None
+    #: Chosen fanout m at this node (None for leaves).
+    fanout: Optional[int] = None
+    #: Privacy budget charged against this node's own data.
+    eps_spent: float = 0.0
+    #: Variance of ``ncount`` as an estimator of ``count``.  Not simply
+    #: ``2/eps_spent^2``: homogeneity diverts part of the node budget to
+    #: split selection, and early-stopped nodes re-estimate.  Maintained
+    #: by the framework; consumed by consistency boosting.
+    ncount_variance: float = 0.0
+    #: True when a stop condition pruned the subtree here.
+    stopped_early: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def n_cells(self) -> int:
+        return box_n_cells(self.box)
+
+    def iter_nodes(self) -> Iterator["DAFNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_leaves(self) -> Iterator["DAFNode"]:
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+    def max_path_epsilon(self) -> float:
+        """Maximum root-to-leaf sum of per-node charges.
+
+        By parallel composition across disjoint sibling subtrees, this is
+        the true privacy cost of the whole tree mechanism.
+        """
+        if self.is_leaf:
+            return self.eps_spent
+        return self.eps_spent + max(c.max_path_epsilon() for c in self.children)
+
+    def height(self) -> int:
+        """Number of levels below this node (0 for a leaf)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(c.height() for c in self.children)
+
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.iter_leaves())
+
+    def to_public_dict(self) -> Dict[str, object]:
+        """DP-safe summary (boxes, noisy counts, fanouts; no true counts).
+
+        Used by the visualization module to draw the partition overlay of
+        the paper's Fig. 3.
+        """
+        out: Dict[str, object] = {
+            "box": [list(r) for r in self.box],
+            "depth": self.depth,
+            "ncount": self.ncount,
+            "stopped_early": self.stopped_early,
+        }
+        if not self.is_leaf:
+            out["split_axis"] = self.split_axis
+            out["fanout"] = self.fanout
+            out["children"] = [c.to_public_dict() for c in self.children]
+        return out

@@ -1,0 +1,133 @@
+"""Stop conditions for DAF tree growth (paper Section 4.2).
+
+The paper prunes a subtree when the node's *sanitized* count satisfies an
+application-chosen predicate, "the most prominent stop condition ... is to
+stop when the sanitized count is below a certain threshold".  Testing only
+the sanitized count keeps the decision differentially private — no extra
+budget is consumed.
+
+Several predicates are provided; they can be combined with
+:class:`AnyStop` / :class:`AllStop`.  The ablation benchmark
+``benchmarks/test_ablation_stop.py`` sweeps them.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+from ...core.exceptions import MethodError
+
+
+class StopCondition(abc.ABC):
+    """Decides whether a DAF node should become a leaf before full depth."""
+
+    @abc.abstractmethod
+    def should_stop(
+        self, noisy_count: float, remaining_epsilon: float, n_cells: int
+    ) -> bool:
+        """True to prune: ``noisy_count`` is the node's sanitized count,
+        ``remaining_epsilon`` the budget left below this node, ``n_cells``
+        the number of matrix entries the node covers."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NeverStop(StopCondition):
+    """Grow to full depth ``d`` unconditionally (the ablation baseline)."""
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        return False
+
+
+class CountThreshold(StopCondition):
+    """Stop when the sanitized count falls below a fixed threshold."""
+
+    def __init__(self, threshold: float):
+        if not math.isfinite(threshold):
+            raise MethodError(f"threshold must be finite, got {threshold}")
+        self.threshold = float(threshold)
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        return noisy_count < self.threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountThreshold({self.threshold!r})"
+
+
+class NoiseAdaptiveThreshold(StopCondition):
+    """Stop when the sanitized count is small relative to the noise floor.
+
+    Splitting further is pointless once a node's count is comparable to the
+    standard deviation of the Laplace noise the remaining budget can pay
+    for: the children would be indistinguishable from noise.  Stops when
+    ``noisy_count < factor * sqrt(2) / remaining_epsilon``.
+
+    This is the library default (``factor = 2``); it adapts across the
+    privacy budgets and dimensionalities the paper sweeps without manual
+    retuning.
+    """
+
+    def __init__(self, factor: float = 2.0):
+        if factor < 0 or not math.isfinite(factor):
+            raise MethodError(f"factor must be non-negative, got {factor}")
+        self.factor = float(factor)
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        if remaining_epsilon <= 0:
+            return True
+        noise_std = math.sqrt(2.0) / remaining_epsilon
+        return noisy_count < self.factor * noise_std
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NoiseAdaptiveThreshold({self.factor!r})"
+
+
+class SparsityStop(StopCondition):
+    """Stop when the average sanitized density per cell is below a floor.
+
+    Useful for very high-dimensional matrices where large empty regions
+    should collapse into single partitions early.
+    """
+
+    def __init__(self, min_density: float = 0.1):
+        if min_density < 0 or not math.isfinite(min_density):
+            raise MethodError(f"min_density must be non-negative, got {min_density}")
+        self.min_density = float(min_density)
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        if n_cells <= 0:
+            return True
+        return noisy_count / n_cells < self.min_density
+
+
+class AnyStop(StopCondition):
+    """Stop when *any* member condition fires."""
+
+    def __init__(self, conditions: Sequence[StopCondition]):
+        if not conditions:
+            raise MethodError("AnyStop needs at least one condition")
+        self.conditions = tuple(conditions)
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        return any(
+            c.should_stop(noisy_count, remaining_epsilon, n_cells)
+            for c in self.conditions
+        )
+
+
+class AllStop(StopCondition):
+    """Stop only when *all* member conditions fire."""
+
+    def __init__(self, conditions: Sequence[StopCondition]):
+        if not conditions:
+            raise MethodError("AllStop needs at least one condition")
+        self.conditions = tuple(conditions)
+
+    def should_stop(self, noisy_count, remaining_epsilon, n_cells) -> bool:
+        return all(
+            c.should_stop(noisy_count, remaining_epsilon, n_cells)
+            for c in self.conditions
+        )

@@ -1,0 +1,124 @@
+"""Closed-form grid-granularity formulas (paper Eq. 8, 9, 13, 19 + MKM).
+
+Each formula maps a (sanitized) total count ``N`` and the data-perturbation
+budget ``eps`` to the number ``m`` of equal intervals every dimension is cut
+into, so a ``d``-dimensional matrix becomes an ``m^d`` uniform grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.exceptions import MethodError
+
+#: EUG's empirical constant (Section 3.2: "empirically set to 10/sqrt(2)").
+DEFAULT_C0 = 10.0 / math.sqrt(2.0)
+
+
+def _check_inputs(n_total: float, epsilon: float, ndim: int) -> None:
+    if not math.isfinite(n_total):
+        raise MethodError(f"total count must be finite, got {n_total}")
+    if epsilon <= 0 or not math.isfinite(epsilon):
+        raise MethodError(f"epsilon must be positive, got {epsilon}")
+    if ndim < 1:
+        raise MethodError(f"ndim must be >= 1, got {ndim}")
+
+
+def eug_granularity(
+    n_total: float,
+    epsilon: float,
+    ndim: int,
+    *,
+    query_ratio: float | None = None,
+    c0: float = DEFAULT_C0,
+) -> float:
+    """EUG's optimal ``m`` (Eq. 8 for a known query ratio, Eq. 13 otherwise).
+
+    Parameters
+    ----------
+    n_total:
+        Sanitized total count ``N^hat``.  Negative noisy counts are clamped
+        to 1, which degenerates to the coarsest useful grid.
+    epsilon:
+        Data-perturbation budget (``eps_tot - eps_0``).
+    ndim:
+        Matrix dimensionality ``d``.
+    query_ratio:
+        ``r`` — the fraction of the matrix a query covers, when known in
+        advance (Eq. 8).  ``None`` assumes all sizes equally likely and uses
+        the integrated form (Eq. 13).
+    c0:
+        The uniformity-error constant; the paper sets ``10/sqrt(2)``.
+
+    Notes
+    -----
+    For ``d = 1`` the non-uniformity error term of Eq. (6) vanishes
+    (its ``d - 1`` factor is zero) and the optimization degenerates; we
+    use the 2-D base-case formula (Eq. 9), which is also what the original
+    UG paper prescribes for low dimensions.
+    """
+    _check_inputs(n_total, epsilon, ndim)
+    if c0 <= 0 or not math.isfinite(c0):
+        raise MethodError(f"c0 must be positive, got {c0}")
+    n_total = max(n_total, 1.0)
+    if ndim <= 2:
+        # Eq. (9): the base case, identical to UG in the original paper.
+        return math.sqrt(n_total * epsilon / (math.sqrt(2.0) * c0))
+    d = float(ndim)
+    base = (2.0 * (d - 1.0) / d) * n_total * epsilon / (math.sqrt(2.0) * c0)
+    if query_ratio is not None:
+        if not 0.0 < query_ratio <= 1.0:
+            raise MethodError(f"query_ratio must be in (0, 1], got {query_ratio}")
+        base = base * query_ratio ** (1.0 / d - 0.5)
+        return base ** (2.0 / (3.0 * d - 2.0))
+    # Eq. (13): integrate Eq. (8) over r in (0, 1].
+    alpha = base ** (2.0 / (3.0 * d - 2.0))
+    factor = d * (3.0 * d - 2.0) / (3.0 * d * d - 3.0 * d + 2.0)
+    return alpha * factor
+
+
+def ebp_granularity(n_total: float, epsilon: float, ndim: int) -> float:
+    """EBP's entropy-balanced ``m`` (Eq. 19): ``(N eps / sqrt(2))^(2/(3d))``.
+
+    Balances the Laplace-noise entropy (Eq. 14) against the information
+    loss of coarsening (Eq. 15) under the uniform-spread approximation
+    (Eq. 17).  No empirical constants required — the point of EBP.
+    """
+    _check_inputs(n_total, epsilon, ndim)
+    n_total = max(n_total, 1.0)
+    value = n_total * epsilon / math.sqrt(2.0)
+    if value < 1.0:
+        return 1.0
+    return value ** (2.0 / (3.0 * ndim))
+
+
+def mkm_granularity(n_total: float, ndim: int) -> float:
+    """MKM's per-dimension granularity: ``N^(2/(d+2))``.
+
+    Ref. [11] (Lei 2011) chooses the histogram bin width from the total
+    count alone — the formula has no dependence on ``epsilon``, which is
+    why the paper observes MKM "does not follow the epsilon-scale
+    exchangeability principle" and saturates at the matrix's maximum
+    granularity on the 1000x1000 / N = 10^6 city datasets
+    (10^6^(2/4) = 1000).
+    """
+    if not math.isfinite(n_total):
+        raise MethodError(f"total count must be finite, got {n_total}")
+    if ndim < 1:
+        raise MethodError(f"ndim must be >= 1, got {ndim}")
+    n_total = max(n_total, 1.0)
+    return n_total ** (2.0 / (ndim + 2.0))
+
+
+def clamp_granularity(m: float, dim_size: int, *, minimum: int = 1) -> int:
+    """Round ``m`` and clamp to ``[minimum, dim_size]``.
+
+    A granularity below 1 means "do not split"; above the dimension size it
+    saturates at one cell per interval (the IDENTITY regime).
+    """
+    if dim_size < 1:
+        raise MethodError(f"dim_size must be >= 1, got {dim_size}")
+    if not math.isfinite(m):
+        m = float(dim_size)
+    rounded = int(round(m))
+    return max(minimum, min(rounded, dim_size))

@@ -1,0 +1,63 @@
+"""MKM grid baseline [Lei 2011, ref. 11 in the paper].
+
+Chooses the grid granularity from the (sanitized) total count alone:
+``m = N^(2/(d+2))`` per dimension, independent of ``epsilon``.  Because the
+formula ignores the privacy budget ("does not follow the epsilon-scale
+exchangeability principle", Section 6.2), it saturates at the matrix's
+maximum granularity on dense low-dimensional data and then behaves like
+IDENTITY — the paper's observed failure mode, which our benchmarks
+reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import MethodError
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.budget import BudgetLedger
+from ._grid import sanitize_uniform_grid, sanitized_total
+from .base import Sanitizer
+from .granularity import clamp_granularity, mkm_granularity
+
+
+class MKM(Sanitizer):
+    """M-estimator-style grid sanitizer (partially data-dependent baseline).
+
+    Parameters
+    ----------
+    eps0_fraction:
+        Fraction of the budget spent on the total-count estimate.
+    """
+
+    name = "mkm"
+
+    def __init__(self, eps0_fraction: float = 0.01):
+        if not 0.0 < eps0_fraction < 1.0:
+            raise MethodError(
+                f"eps0_fraction must be in (0, 1), got {eps0_fraction}"
+            )
+        self.eps0_fraction = float(eps0_fraction)
+
+    def _sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        rng: np.random.Generator,
+    ) -> PrivateFrequencyMatrix:
+        epsilon = ledger.epsilon_total
+        eps0 = epsilon * self.eps0_fraction
+        eps_data = epsilon - eps0
+        n_hat = sanitized_total(matrix, eps0, ledger, rng)
+        m_raw = mkm_granularity(n_hat, matrix.ndim)
+        m = clamp_granularity(m_raw, max(matrix.shape))
+        return sanitize_uniform_grid(
+            matrix, m, eps_data, ledger, rng,
+            method=self.name,
+            metadata={"n_hat": n_hat, "m_raw": m_raw,
+                      "eps0": eps0, "eps_data": eps_data},
+        )
+
+    def describe(self):
+        return {"name": self.name, "eps0_fraction": self.eps0_fraction}

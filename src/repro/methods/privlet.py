@@ -1,0 +1,158 @@
+"""Privlet-style wavelet sanitizer [Xiao, Wang, Gehrke 2010; ref. 18].
+
+The paper discusses Privlet as related work but does not evaluate it; we
+provide it as an extension baseline.  The matrix is transformed with an
+*unnormalized* Haar wavelet along every axis (the standard tensor
+decomposition), each coefficient receives Laplace noise calibrated to its
+own sensitivity, and the inverse transform yields per-cell noisy counts.
+
+Calibration
+-----------
+For an axis of length ``2^h``, one individual's +1 moves the level-``l``
+detail coefficient by at most ``2^-l`` and the scaling coefficient by
+``2^-h``.  Giving the coefficient group at level ``l`` noise scale
+
+    lambda_l = (h + 1) * 2^-l / eps
+
+makes the per-axis privacy degradation sum to exactly ``eps`` across the
+``h + 1`` groups; for ``d`` axes the scales multiply per-axis weights and
+the group count becomes ``prod_i (h_i + 1)``, again summing to ``eps``.
+Because coarse coefficients get proportionally *small* absolute noise while
+covering big blocks, a contiguous range query touches only ``O(log n)``
+noisy partial coefficients per axis — the polylogarithmic range-error
+guarantee that motivates wavelet publication, versus IDENTITY's error
+growing with the query volume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.budget import BudgetLedger
+from .base import Sanitizer
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def haar_forward_axis(data: np.ndarray, axis: int) -> np.ndarray:
+    """Unnormalized Haar transform along ``axis`` (length must be 2^h).
+
+    Layout after the transform: position 0 holds the scaling coefficient
+    (the mean); positions ``[2^(j-1), 2^j)`` hold the details of level
+    ``h - j + 1`` (position 1 is the coarsest detail, the top half the
+    finest).
+    """
+    x = np.moveaxis(np.asarray(data, dtype=np.float64), axis, 0).copy()
+    n = x.shape[0]
+    if n & (n - 1):
+        raise ValueError(f"axis length must be a power of two, got {n}")
+    length = n
+    while length > 1:
+        evens = x[0:length:2].copy()
+        odds = x[1:length:2].copy()
+        half = length // 2
+        x[:half] = (evens + odds) / 2.0
+        x[half:length] = (evens - odds) / 2.0
+        length = half
+    return np.moveaxis(x, 0, axis)
+
+
+def haar_inverse_axis(data: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`haar_forward_axis`."""
+    x = np.moveaxis(np.asarray(data, dtype=np.float64), axis, 0).copy()
+    n = x.shape[0]
+    if n & (n - 1):
+        raise ValueError(f"axis length must be a power of two, got {n}")
+    length = 2
+    while length <= n:
+        half = length // 2
+        approx = x[:half].copy()
+        detail = x[half:length].copy()
+        x[0:length:2] = approx + detail
+        x[1:length:2] = approx - detail
+        length *= 2
+    return np.moveaxis(x, 0, axis)
+
+
+def haar_axis_weights(length_pow2: int) -> np.ndarray:
+    """Per-position sensitivity weights ``w(p)`` for one transformed axis.
+
+    ``w(0) = 2^-h`` (scaling); for ``p >= 1`` at detail level
+    ``l = h - floor(log2 p)``, ``w(p) = 2^-l``.  These are exactly the
+    maximal per-coefficient contributions of a unit impulse, verified
+    empirically by the test suite.
+    """
+    n = int(length_pow2)
+    if n < 1 or (n & (n - 1)):
+        raise ValueError(f"length must be a power of two, got {n}")
+    h = int(math.log2(n))
+    w = np.empty(n, dtype=np.float64)
+    w[0] = 2.0 ** (-h)
+    for p in range(1, n):
+        level = h - int(math.floor(math.log2(p)))
+        w[p] = 2.0 ** (-level)
+    return w
+
+
+def haar_level_count(length_pow2: int) -> int:
+    """Number of coefficient groups per axis: ``h + 1``."""
+    n = int(length_pow2)
+    if n < 1 or (n & (n - 1)):
+        raise ValueError(f"length must be a power of two, got {n}")
+    return int(math.log2(n)) + 1
+
+
+class Privlet(Sanitizer):
+    """Wavelet-domain Laplace sanitizer (dense-backed output)."""
+
+    name = "privlet"
+
+    def _sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        rng: np.random.Generator,
+    ) -> PrivateFrequencyMatrix:
+        epsilon = ledger.epsilon_total
+        ledger.charge(epsilon, note="wavelet coefficients")
+        padded_shape: Tuple[int, ...] = tuple(_next_pow2(s) for s in matrix.shape)
+        work = np.zeros(padded_shape, dtype=np.float64)
+        work[tuple(slice(0, s) for s in matrix.shape)] = matrix.data
+
+        n_groups = 1
+        for axis, size in enumerate(padded_shape):
+            work = haar_forward_axis(work, axis)
+            n_groups *= haar_level_count(size)
+
+        # Per-coefficient scale: (prod_i (h_i + 1) / eps) * prod_i w_i(p_i).
+        scale = np.full(padded_shape, n_groups / epsilon, dtype=np.float64)
+        for axis, size in enumerate(padded_shape):
+            view_shape = [1] * len(padded_shape)
+            view_shape[axis] = size
+            scale = scale * haar_axis_weights(size).reshape(view_shape)
+        work = work + rng.laplace(0.0, 1.0, size=work.shape) * scale
+
+        for axis in range(work.ndim):
+            work = haar_inverse_axis(work, axis)
+        noisy = work[tuple(slice(0, s) for s in matrix.shape)]
+        return PrivateFrequencyMatrix.from_dense_noisy(
+            noisy,
+            matrix.domain,
+            epsilon=epsilon,
+            method=self.name,
+            metadata={
+                "padded_shape": list(padded_shape),
+                "coefficient_groups": n_groups,
+                "n_partitions": matrix.n_cells,
+            },
+        )

@@ -1,0 +1,82 @@
+"""Name-based sanitizer registry.
+
+The experiment harness refers to methods by the symbols of the paper's
+Table 2 (lower-cased); :func:`get_sanitizer` builds a fresh, optionally
+configured instance for each.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.exceptions import MethodError
+from .ag import AdaptiveGrid
+from .base import Sanitizer
+from .daf.entropy import DAFEntropy
+from .daf.homogeneity import DAFHomogeneity
+from .ebp import EBP
+from .eug import EUG
+from .identity import Identity
+from .kdtree import KDTree
+from .mkm import MKM
+from .privlet import Privlet
+from .quadtree import Quadtree
+from .spacefilling import SpaceFillingCurve
+from .uniform import Uniform
+
+_REGISTRY: Dict[str, Callable[..., Sanitizer]] = {
+    "identity": Identity,
+    "uniform": Uniform,
+    "eug": EUG,
+    "ebp": EBP,
+    "mkm": MKM,
+    "daf_entropy": DAFEntropy,
+    "daf_homogeneity": DAFHomogeneity,
+    "privlet": Privlet,
+    "quadtree": Quadtree,
+    "kdtree": KDTree,
+    "ag": AdaptiveGrid,
+    "hilbert1d": SpaceFillingCurve,
+}
+
+#: The six techniques of the paper's experimental section (Table 2).
+PAPER_METHODS: List[str] = [
+    "identity",
+    "eug",
+    "ebp",
+    "mkm",
+    "daf_entropy",
+    "daf_homogeneity",
+]
+
+#: Extension methods implemented beyond the paper's compared set.
+EXTENSION_METHODS: List[str] = [
+    "uniform", "ag", "privlet", "quadtree", "kdtree", "hilbert1d",
+]
+
+
+def available_methods() -> List[str]:
+    """All registered method names, paper methods first."""
+    return PAPER_METHODS + EXTENSION_METHODS
+
+
+def get_sanitizer(name: str, **kwargs) -> Sanitizer:
+    """Instantiate a sanitizer by registry name.
+
+    >>> get_sanitizer("ebp").name
+    'ebp'
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise MethodError(
+            f"unknown method {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def register(name: str, factory: Callable[..., Sanitizer]) -> None:
+    """Register a custom sanitizer factory (used by downstream code)."""
+    key = str(name).lower()
+    if key in _REGISTRY:
+        raise MethodError(f"method {name!r} is already registered")
+    _REGISTRY[key] = factory

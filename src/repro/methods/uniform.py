@@ -1,0 +1,41 @@
+"""UNIFORM (a.k.a. *singular*) baseline: one partition for the whole matrix.
+
+The total count is sanitized once with the full budget and queries are
+answered assuming perfectly uniform data (Section 5's "singular" algorithm).
+Minimal noise error, maximal uniformity error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.partition import Partitioning
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.budget import BudgetLedger
+from ..dp.mechanisms import laplace_noise
+from .base import Sanitizer
+
+
+class Uniform(Sanitizer):
+    """Single-partition sanitizer (the paper's UNIFORM / singular baseline)."""
+
+    name = "uniform"
+
+    def _sanitize(
+        self,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        rng: np.random.Generator,
+    ) -> PrivateFrequencyMatrix:
+        epsilon = ledger.epsilon_total
+        ledger.charge(epsilon, note="total count")
+        noisy_total = matrix.total + laplace_noise(1.0, epsilon, rng)
+        partitioning = Partitioning.single(matrix.shape, noisy_total, matrix.total)
+        return PrivateFrequencyMatrix(
+            partitioning,
+            matrix.domain,
+            epsilon=epsilon,
+            method=self.name,
+            metadata={"n_partitions": 1},
+        )

@@ -1,0 +1,36 @@
+"""Query workloads, accuracy metrics, and the evaluation engine."""
+
+from .evaluator import EvaluationResult, WorkloadEvaluator
+from .metrics import (
+    DEFAULT_FLOOR,
+    AccuracyReport,
+    accuracy_report,
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+    root_mean_squared_error,
+)
+from .workload import (
+    Workload,
+    centered_workload,
+    fixed_coverage_workload,
+    paper_workloads,
+    random_workload,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "DEFAULT_FLOOR",
+    "EvaluationResult",
+    "Workload",
+    "WorkloadEvaluator",
+    "accuracy_report",
+    "centered_workload",
+    "fixed_coverage_workload",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "paper_workloads",
+    "random_workload",
+    "relative_errors",
+    "root_mean_squared_error",
+]

@@ -1,0 +1,88 @@
+"""Evaluating private matrices against ground truth over workloads.
+
+Ground-truth answers come from a :class:`~repro.core.PrefixSumTable` built
+once per matrix; private answers use the matrix's own engine.  The result
+rows feed the experiment harness and the figure benchmarks directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.prefix_sum import PrefixSumTable
+from ..core.private_matrix import PrivateFrequencyMatrix
+from .metrics import DEFAULT_FLOOR, AccuracyReport, accuracy_report
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy of one private matrix on one workload."""
+
+    method: str
+    workload: str
+    epsilon: float
+    report: AccuracyReport
+
+    @property
+    def mre(self) -> float:
+        return self.report.mre
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "method": self.method,
+            "workload": self.workload,
+            "epsilon": self.epsilon,
+        }
+        out.update(self.report.as_dict())
+        return out
+
+
+class WorkloadEvaluator:
+    """Caches ground-truth answers for a matrix across many evaluations."""
+
+    def __init__(self, matrix: FrequencyMatrix, floor: float = DEFAULT_FLOOR):
+        self._matrix = matrix
+        self._floor = floor
+        self._table = PrefixSumTable(matrix.data)
+        self._truth_cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def matrix(self) -> FrequencyMatrix:
+        return self._matrix
+
+    def true_answers(self, workload: Workload) -> np.ndarray:
+        """Exact workload answers (cached per workload name + length)."""
+        key = f"{workload.name}:{len(workload)}:{hash(workload.queries)}"
+        if key not in self._truth_cache:
+            self._truth_cache[key] = self._table.query_many(list(workload))
+        return self._truth_cache[key]
+
+    def evaluate(
+        self, private: PrivateFrequencyMatrix, workload: Workload
+    ) -> EvaluationResult:
+        """Accuracy of ``private`` on ``workload``."""
+        truth = self.true_answers(workload)
+        estimates = private.answer_many(list(workload))
+        return EvaluationResult(
+            method=private.method,
+            workload=workload.name,
+            epsilon=private.epsilon,
+            report=accuracy_report(truth, estimates, self._floor),
+        )
+
+    def evaluate_many(
+        self,
+        privates: Iterable[PrivateFrequencyMatrix],
+        workloads: Sequence[Workload],
+    ) -> List[EvaluationResult]:
+        """Cross product of private matrices and workloads."""
+        results: List[EvaluationResult] = []
+        for private in privates:
+            for workload in workloads:
+                results.append(self.evaluate(private, workload))
+        return results

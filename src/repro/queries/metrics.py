@@ -1,0 +1,93 @@
+"""Accuracy metrics, principally Mean Relative Error (paper Eq. 3).
+
+``MRE(q) = |p_hat - p| / p * 100``.  The raw formula is undefined for
+empty queries, so the denominator is guarded with ``max(p, floor)`` —
+``floor = 1`` by default, the standard dpbench-style smoothing (documented
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+
+#: Default denominator floor for relative error.
+DEFAULT_FLOOR = 1.0
+
+
+def relative_errors(
+    true: np.ndarray, estimated: np.ndarray, floor: float = DEFAULT_FLOOR
+) -> np.ndarray:
+    """Per-query relative error in percent (Eq. 3 with a floored
+    denominator)."""
+    true = np.asarray(true, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if true.shape != estimated.shape:
+        raise ValidationError(
+            f"shape mismatch: true {true.shape} vs estimated {estimated.shape}"
+        )
+    if floor <= 0:
+        raise ValidationError(f"floor must be positive, got {floor}")
+    denom = np.maximum(true, floor)
+    return np.abs(estimated - true) / denom * 100.0
+
+
+def mean_relative_error(
+    true: np.ndarray, estimated: np.ndarray, floor: float = DEFAULT_FLOOR
+) -> float:
+    """Mean of :func:`relative_errors` over the workload."""
+    return float(relative_errors(true, estimated, floor).mean())
+
+
+def mean_absolute_error(true: np.ndarray, estimated: np.ndarray) -> float:
+    true = np.asarray(true, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if true.shape != estimated.shape:
+        raise ValidationError("shape mismatch")
+    return float(np.abs(estimated - true).mean())
+
+
+def root_mean_squared_error(true: np.ndarray, estimated: np.ndarray) -> float:
+    true = np.asarray(true, dtype=np.float64)
+    estimated = np.asarray(estimated, dtype=np.float64)
+    if true.shape != estimated.shape:
+        raise ValidationError("shape mismatch")
+    return float(np.sqrt(((estimated - true) ** 2).mean()))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Bundle of accuracy metrics for one (method, workload) pair."""
+
+    mre: float
+    median_re: float
+    mae: float
+    rmse: float
+    n_queries: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mre": self.mre,
+            "median_re": self.median_re,
+            "mae": self.mae,
+            "rmse": self.rmse,
+            "n_queries": float(self.n_queries),
+        }
+
+
+def accuracy_report(
+    true: np.ndarray, estimated: np.ndarray, floor: float = DEFAULT_FLOOR
+) -> AccuracyReport:
+    """All metrics at once for one answered workload."""
+    errs = relative_errors(true, estimated, floor)
+    return AccuracyReport(
+        mre=float(errs.mean()),
+        median_re=float(np.median(errs)),
+        mae=mean_absolute_error(true, estimated),
+        rmse=root_mean_squared_error(true, estimated),
+        n_queries=int(errs.size),
+    )

@@ -1,0 +1,48 @@
+"""Trajectory and origin-destination matrix substrate (paper Section 2.3)."""
+
+from .grid import SpatialGrid
+from .od import (
+    DEFAULT_CELL_BUDGET,
+    ODMatrixBuilder,
+    auto_resolution,
+    classical_od_matrix,
+    frame_names,
+    od_matrix_with_stops,
+)
+from .queries import (
+    Region,
+    circle_region,
+    exposure_count,
+    flow_between,
+    flow_via,
+    visits_through,
+)
+from .semantic import (
+    DEFAULT_CATEGORIES,
+    SemanticMap,
+    semantic_sequence_count,
+    semantic_transition_matrix,
+)
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "DEFAULT_CELL_BUDGET",
+    "ODMatrixBuilder",
+    "SemanticMap",
+    "Region",
+    "SpatialGrid",
+    "Trajectory",
+    "TrajectoryDataset",
+    "auto_resolution",
+    "circle_region",
+    "classical_od_matrix",
+    "exposure_count",
+    "flow_between",
+    "flow_via",
+    "frame_names",
+    "od_matrix_with_stops",
+    "semantic_sequence_count",
+    "semantic_transition_matrix",
+    "visits_through",
+]

@@ -1,0 +1,113 @@
+"""Spatial discretization grids for city maps.
+
+The paper models each city as a ``1000 x 1000`` frequency matrix covering a
+``70 x 70 km^2`` region (Section 6.1).  :class:`SpatialGrid` captures that
+mapping: a square (or rectangular) continuous region divided into a regular
+cell grid, convertible to the :class:`~repro.core.Domain` machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.domain import DimensionSpec, Domain
+from ..core.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class SpatialGrid:
+    """A rectangular region discretized into ``nx x ny`` cells.
+
+    Parameters
+    ----------
+    nx, ny:
+        Cell counts along x and y.
+    x_min, x_max, y_min, y_max:
+        Continuous extent (kilometres, degrees — any consistent unit).
+    """
+
+    nx: int
+    ny: int
+    x_min: float = 0.0
+    x_max: float = 1.0
+    y_min: float = 0.0
+    y_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValidationError("grid must have at least one cell per axis")
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValidationError("grid extent must be non-empty")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def city(cls, resolution: int = 1000, side_km: float = 70.0) -> "SpatialGrid":
+        """The paper's city model: ``resolution^2`` cells over a
+        ``side_km``-by-``side_km`` square."""
+        return cls(resolution, resolution, 0.0, side_km, 0.0, side_km)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nx, self.ny)
+
+    @property
+    def cell_width(self) -> float:
+        return (self.x_max - self.x_min) / self.nx
+
+    @property
+    def cell_height(self) -> float:
+        return (self.y_max - self.y_min) / self.ny
+
+    def x_spec(self, name: str = "x") -> DimensionSpec:
+        return DimensionSpec(self.nx, self.x_min, self.x_max, name)
+
+    def y_spec(self, name: str = "y") -> DimensionSpec:
+        return DimensionSpec(self.ny, self.y_min, self.y_max, name)
+
+    def domain(self, prefix: str = "") -> Domain:
+        """A 2-D :class:`Domain` for this grid (for population histograms)."""
+        return Domain((self.x_spec(prefix + "x"), self.y_spec(prefix + "y")))
+
+    def coarsen(self, nx: int, ny: int) -> "SpatialGrid":
+        """A coarser grid over the same extent."""
+        if nx > self.nx or ny > self.ny:
+            raise ValidationError(
+                f"cannot coarsen {self.shape} to finer {(nx, ny)}"
+            )
+        return SpatialGrid(nx, ny, self.x_min, self.x_max, self.y_min, self.y_max)
+
+    # ------------------------------------------------------------------
+    def to_cells(self, points: np.ndarray) -> np.ndarray:
+        """Map ``(n, 2)`` continuous points to ``(n, 2)`` cell indices,
+        clipping out-of-extent points to the boundary cells."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValidationError(f"points must have shape (n, 2), got {pts.shape}")
+        ix = np.floor((pts[:, 0] - self.x_min) / self.cell_width).astype(np.int64)
+        iy = np.floor((pts[:, 1] - self.y_min) / self.cell_height).astype(np.int64)
+        return np.stack(
+            [np.clip(ix, 0, self.nx - 1), np.clip(iy, 0, self.ny - 1)], axis=1
+        )
+
+    def cell_center(self, ix: int, iy: int) -> Tuple[float, float]:
+        """Continuous centre of cell ``(ix, iy)``."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ValidationError(f"cell ({ix}, {iy}) outside grid {self.shape}")
+        return (
+            self.x_min + (ix + 0.5) * self.cell_width,
+            self.y_min + (iy + 0.5) * self.cell_height,
+        )
+
+    def sample_cell_points(
+        self, cells: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform continuous points inside the given ``(n, 2)`` cells."""
+        cells = np.asarray(cells, dtype=np.int64)
+        u = rng.random(cells.shape)
+        x = self.x_min + (cells[:, 0] + u[:, 0]) * self.cell_width
+        y = self.y_min + (cells[:, 1] + u[:, 1]) * self.cell_height
+        return np.stack([x, y], axis=1)

@@ -1,0 +1,120 @@
+"""Analyst-facing OD query helpers.
+
+These express the queries the paper's introduction motivates — "how many
+users traveled from a 1 km circle centered at A to a 1 km circle centered
+at B", optionally constrained to pass through a region — as range queries
+over a (private or raw) OD frequency matrix.
+
+Circles are approximated by their bounding boxes, which is how axis-
+aligned-partition structures answer them; the approximation is an analyst-
+side choice, orthogonal to the privacy mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ..core.exceptions import QueryError
+from ..core.frequency_matrix import Box, FrequencyMatrix
+from ..core.private_matrix import PrivateFrequencyMatrix
+
+MatrixLike = Union[FrequencyMatrix, PrivateFrequencyMatrix]
+
+#: A continuous axis-aligned region: ((x_lo, x_hi), (y_lo, y_hi)).
+Region = Tuple[Tuple[float, float], Tuple[float, float]]
+
+
+def circle_region(center: Tuple[float, float], radius_km: float) -> Region:
+    """Bounding-box region of a circle (the analyst-side approximation)."""
+    if radius_km <= 0:
+        raise QueryError(f"radius must be positive, got {radius_km}")
+    (cx, cy) = center
+    return ((cx - radius_km, cx + radius_km), (cy - radius_km, cy + radius_km))
+
+
+def _region_to_frame_box(matrix: MatrixLike, frame: int, region: Region) -> Box:
+    """Cell ranges for one frame's (x, y) dimension pair; other frames full."""
+    domain = matrix.domain
+    if domain.ndim % 2 != 0:
+        raise QueryError(
+            f"OD matrices have an even dimension count, got {domain.ndim}"
+        )
+    n_frames = domain.ndim // 2
+    frame = frame % n_frames
+    box = []
+    for f in range(n_frames):
+        if f == frame:
+            (x_lo, x_hi), (y_lo, y_hi) = region
+            box.append(domain[2 * f].interval_to_cells(x_lo, x_hi))
+            box.append(domain[2 * f + 1].interval_to_cells(y_lo, y_hi))
+        else:
+            box.append((0, domain[2 * f].size - 1))
+            box.append((0, domain[2 * f + 1].size - 1))
+    return tuple(box)
+
+
+def _intersect_boxes(a: Box, b: Box) -> Box:
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if lo > hi:
+            raise QueryError("query regions select disjoint cell ranges")
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def _answer(matrix: MatrixLike, box: Box) -> float:
+    if isinstance(matrix, PrivateFrequencyMatrix):
+        return matrix.answer(box)
+    return matrix.range_count(box)
+
+
+def flow_between(
+    matrix: MatrixLike, origin_region: Region, dest_region: Region
+) -> float:
+    """Trips starting in ``origin_region`` and ending in ``dest_region``."""
+    box = _intersect_boxes(
+        _region_to_frame_box(matrix, 0, origin_region),
+        _region_to_frame_box(matrix, -1, dest_region),
+    )
+    return _answer(matrix, box)
+
+
+def flow_via(
+    matrix: MatrixLike,
+    origin_region: Region,
+    dest_region: Region,
+    stop_region: Region,
+    stop_frame: int = 1,
+) -> float:
+    """Trips from origin to destination that pass through ``stop_region``
+    at the given intermediate frame (1 = first stop)."""
+    box = _intersect_boxes(
+        _intersect_boxes(
+            _region_to_frame_box(matrix, 0, origin_region),
+            _region_to_frame_box(matrix, -1, dest_region),
+        ),
+        _region_to_frame_box(matrix, stop_frame, stop_region),
+    )
+    return _answer(matrix, box)
+
+
+def visits_through(matrix: MatrixLike, region: Region, frame: int) -> float:
+    """Trips whose recorded point at ``frame`` falls in ``region``
+    (the exposure-style query of the COVID use case)."""
+    return _answer(matrix, _region_to_frame_box(matrix, frame, region))
+
+
+def exposure_count(
+    matrix: MatrixLike, regions: Sequence[Region], frames: Sequence[int]
+) -> float:
+    """Trips passing through *all* of the given (region, frame) pairs —
+    e.g. store at noon AND gym in the evening."""
+    if len(regions) != len(frames):
+        raise QueryError("need exactly one frame per region")
+    if not regions:
+        raise QueryError("need at least one region")
+    box = _region_to_frame_box(matrix, frames[0], regions[0])
+    for region, frame in zip(regions[1:], frames[1:]):
+        box = _intersect_boxes(box, _region_to_frame_box(matrix, frame, region))
+    return _answer(matrix, box)

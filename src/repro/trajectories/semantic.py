@@ -1,0 +1,217 @@
+"""Semantic-feature queries over OD matrices — the paper's future-work
+direction (Section 7).
+
+"An analyst may be interested in trajectories that satisfy some semantic
+constraint, like workplace-entertainment-sports sequences, where the type
+of feature visited is more important than the actual geographical
+placement."
+
+A :class:`SemanticMap` labels every cell of a spatial grid with a
+category; :func:`semantic_sequence_count` then counts trajectories whose
+frames visit a given category *sequence*, evaluated against either the raw
+OD matrix or a DP-sanitized one (a pure post-processing of the published
+counts, so the privacy guarantee carries over).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.exceptions import QueryError, ValidationError
+from ..core.frequency_matrix import FrequencyMatrix
+from ..core.private_matrix import PrivateFrequencyMatrix
+from ..dp.rng import RNGLike, ensure_rng
+from .grid import SpatialGrid
+
+MatrixLike = Union[FrequencyMatrix, PrivateFrequencyMatrix]
+
+#: Default category vocabulary, loosely following the paper's example.
+DEFAULT_CATEGORIES = (
+    "residential", "workplace", "commercial", "entertainment", "sports",
+)
+
+
+class SemanticMap:
+    """A categorical label per cell of a 2-D spatial grid."""
+
+    __slots__ = ("_labels", "_categories")
+
+    def __init__(self, labels: np.ndarray, categories: Sequence[str]):
+        labels = np.asarray(labels, dtype=np.int32)
+        if labels.ndim != 2:
+            raise ValidationError("labels must be a 2-D cell array")
+        categories = tuple(str(c) for c in categories)
+        if len(set(categories)) != len(categories) or not categories:
+            raise ValidationError("categories must be unique and non-empty")
+        if labels.size and (labels.min() < 0 or labels.max() >= len(categories)):
+            raise ValidationError("label indices outside the category list")
+        self._labels = labels
+        self._categories = categories
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._labels.shape
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        return self._categories
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    def category_index(self, name: str) -> int:
+        try:
+            return self._categories.index(name)
+        except ValueError:
+            raise QueryError(
+                f"unknown category {name!r}; available: {self._categories}"
+            ) from None
+
+    def mask(self, category: str) -> np.ndarray:
+        """Boolean cell mask of one category."""
+        return self._labels == self.category_index(category)
+
+    def category_fraction(self, category: str) -> float:
+        """Fraction of cells carrying the category."""
+        return float(self.mask(category).mean())
+
+    def coarsen(self, nx: int, ny: int) -> "SemanticMap":
+        """Majority-vote re-labelling onto a coarser grid (to match a
+        coarsened OD matrix resolution)."""
+        sx, sy = self._labels.shape
+        if nx > sx or ny > sy:
+            raise ValidationError(f"cannot coarsen {self.shape} to {(nx, ny)}")
+        out = np.zeros((nx, ny), dtype=np.int32)
+        x_edges = np.linspace(0, sx, nx + 1).astype(int)
+        y_edges = np.linspace(0, sy, ny + 1).astype(int)
+        for i in range(nx):
+            for j in range(ny):
+                block = self._labels[x_edges[i]:x_edges[i + 1],
+                                     y_edges[j]:y_edges[j + 1]]
+                counts = np.bincount(block.ravel(),
+                                     minlength=len(self._categories))
+                out[i, j] = int(np.argmax(counts))
+        return SemanticMap(out, self._categories)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        grid: SpatialGrid,
+        categories: Sequence[str] = DEFAULT_CATEGORIES,
+        patch_count: int = 40,
+        rng: RNGLike = None,
+    ) -> "SemanticMap":
+        """A synthetic land-use map: Voronoi-style patches of categories.
+
+        ``patch_count`` seeds are placed uniformly; every cell takes the
+        category of its nearest seed — producing contiguous districts the
+        way real land use clusters.
+        """
+        if patch_count < 1:
+            raise ValidationError(f"patch_count must be >= 1, got {patch_count}")
+        gen = ensure_rng(rng)
+        nx, ny = grid.shape
+        seeds = np.stack(
+            [gen.integers(0, nx, size=patch_count),
+             gen.integers(0, ny, size=patch_count)], axis=1
+        )
+        seed_cats = gen.integers(0, len(categories), size=patch_count)
+        xs, ys = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1)
+        d2 = ((coords[:, None, :] - seeds[None, :, :]) ** 2).sum(axis=2)
+        nearest = np.argmin(d2, axis=1)
+        labels = seed_cats[nearest].reshape(nx, ny)
+        return cls(labels, categories)
+
+
+def _frame_masks(
+    matrix: MatrixLike, semantic: SemanticMap, sequence: Sequence[str]
+) -> List[np.ndarray]:
+    ndim = matrix.ndim
+    if ndim % 2 != 0:
+        raise QueryError("OD matrices have an even dimension count")
+    n_frames = ndim // 2
+    if len(sequence) != n_frames:
+        raise QueryError(
+            f"sequence has {len(sequence)} categories, matrix has "
+            f"{n_frames} frames"
+        )
+    frame_shape = (matrix.shape[0], matrix.shape[1])
+    for f in range(n_frames):
+        if (matrix.shape[2 * f], matrix.shape[2 * f + 1]) != frame_shape:
+            raise QueryError("all frames must share one spatial resolution")
+    sem = semantic
+    if sem.shape != frame_shape:
+        sem = sem.coarsen(*frame_shape)
+    return [sem.mask(cat).astype(np.float64) for cat in sequence]
+
+
+def semantic_sequence_count(
+    matrix: MatrixLike, semantic: SemanticMap, sequence: Sequence[str]
+) -> float:
+    """Count trajectories visiting the given category sequence.
+
+    ``sequence`` has one category per frame, e.g.
+    ``("residential", "entertainment", "sports")`` for an OD matrix with
+    one intermediate stop.  For a private matrix this is post-processing
+    of the published counts: the result inherits the DP guarantee.
+    """
+    masks = _frame_masks(matrix, semantic, sequence)
+    dense = (
+        matrix.dense_array()
+        if isinstance(matrix, PrivateFrequencyMatrix)
+        else matrix.data
+    )
+    acc = dense
+    # Contract frame by frame: multiply by the frame mask and sum out its
+    # two axes, keeping memory at O(cells).
+    for mask in masks:
+        acc = np.tensordot(mask, acc, axes=([0, 1], [0, 1]))
+    return float(acc)
+
+
+def semantic_transition_matrix(
+    matrix: MatrixLike,
+    semantic: SemanticMap,
+    frames: Tuple[int, int] = (0, -1),
+) -> Dict[Tuple[str, str], float]:
+    """Category-to-category flow totals between two frames.
+
+    Returns ``{(from_category, to_category): count}`` — the
+    semantic-level OD matrix an urban analyst reads ("how many
+    residential->workplace trips?").
+    """
+    ndim = matrix.ndim
+    if ndim % 2 != 0:
+        raise QueryError("OD matrices have an even dimension count")
+    n_frames = ndim // 2
+    f_a, f_b = (f % n_frames for f in frames)
+    if f_a == f_b:
+        raise QueryError("transition frames must differ")
+    dense = (
+        matrix.dense_array()
+        if isinstance(matrix, PrivateFrequencyMatrix)
+        else matrix.data
+    )
+    frame_shape = (matrix.shape[2 * f_a], matrix.shape[2 * f_a + 1])
+    sem = semantic if semantic.shape == frame_shape else semantic.coarsen(*frame_shape)
+    # Sum out every frame except f_a and f_b.
+    keep = {2 * f_a, 2 * f_a + 1, 2 * f_b, 2 * f_b + 1}
+    drop = tuple(a for a in range(ndim) if a not in keep)
+    reduced = dense.sum(axis=drop) if drop else dense
+    # Order axes as (xa, ya, xb, yb).
+    if f_a > f_b:
+        reduced = np.transpose(reduced, (2, 3, 0, 1))
+    out: Dict[Tuple[str, str], float] = {}
+    for ca in sem.categories:
+        mask_a = sem.mask(ca).astype(np.float64)
+        partial = np.tensordot(mask_a, reduced, axes=([0, 1], [0, 1]))
+        for cb in sem.categories:
+            mask_b = sem.mask(cb).astype(np.float64)
+            out[(ca, cb)] = float((partial * mask_b).sum())
+    return out

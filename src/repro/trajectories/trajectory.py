@@ -1,0 +1,155 @@
+"""Trajectory model: ordered location sequences with a fixed stop count.
+
+Section 2.3 of the paper models a trajectory as an ordered list of
+recorded points — origin, zero or more intermediate stops, destination —
+one pair of spatial coordinates per "time frame" (morning/noon/evening in
+the paper's example).  :class:`TrajectoryDataset` stores a homogeneous
+collection (every trajectory records the same number of points) as a
+single ``(n, k, 2)`` array so 300 k-trajectory datasets stay vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A single trip: origin, intermediate stops, destination.
+
+    ``points`` is an ``(k, 2)`` array of continuous ``(x, y)`` coordinates
+    ordered in time; ``k >= 2`` (origin and destination always present).
+    """
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ValidationError(
+                f"points must have shape (k >= 2, 2), got {pts.shape}"
+            )
+        if not np.all(np.isfinite(pts)):
+            raise ValidationError("trajectory points must be finite")
+        object.__setattr__(self, "points", pts)
+
+    @property
+    def origin(self) -> Tuple[float, float]:
+        return (float(self.points[0, 0]), float(self.points[0, 1]))
+
+    @property
+    def destination(self) -> Tuple[float, float]:
+        return (float(self.points[-1, 0]), float(self.points[-1, 1]))
+
+    @property
+    def stops(self) -> np.ndarray:
+        """Intermediate points, shape ``(k - 2, 2)``."""
+        return self.points[1:-1]
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def n_stops(self) -> int:
+        return self.n_points - 2
+
+    def length(self) -> float:
+        """Total Euclidean path length through all recorded points."""
+        deltas = np.diff(self.points, axis=0)
+        return float(np.sqrt((deltas**2).sum(axis=1)).sum())
+
+
+class TrajectoryDataset:
+    """A homogeneous collection of trajectories as an ``(n, k, 2)`` array."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: np.ndarray):
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 3 or pts.shape[2] != 2 or pts.shape[1] < 2:
+            raise ValidationError(
+                f"points must have shape (n, k >= 2, 2), got {pts.shape}"
+            )
+        if not np.all(np.isfinite(pts)):
+            raise ValidationError("trajectory points must be finite")
+        self._points = pts
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trajectories(cls, trajectories: Sequence[Trajectory]) -> "TrajectoryDataset":
+        if not trajectories:
+            raise ValidationError("need at least one trajectory")
+        k = trajectories[0].n_points
+        for i, t in enumerate(trajectories):
+            if t.n_points != k:
+                raise ValidationError(
+                    f"trajectory {i} has {t.n_points} points, expected {k}"
+                )
+        return cls(np.stack([t.points for t in trajectories]))
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The raw ``(n, k, 2)`` array (do not mutate)."""
+        return self._points
+
+    @property
+    def n_trajectories(self) -> int:
+        return int(self._points.shape[0])
+
+    @property
+    def n_points_each(self) -> int:
+        return int(self._points.shape[1])
+
+    @property
+    def n_stops_each(self) -> int:
+        return self.n_points_each - 2
+
+    def __len__(self) -> int:
+        return self.n_trajectories
+
+    def __getitem__(self, i: int) -> Trajectory:
+        return Trajectory(self._points[i])
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        for i in range(self.n_trajectories):
+            yield self[i]
+
+    # ------------------------------------------------------------------
+    @property
+    def origins(self) -> np.ndarray:
+        return self._points[:, 0, :]
+
+    @property
+    def destinations(self) -> np.ndarray:
+        return self._points[:, -1, :]
+
+    def recorded_points(self, frames: Sequence[int] | None = None) -> np.ndarray:
+        """Points at the requested time frames, shape ``(n, len(frames), 2)``.
+
+        ``None`` returns all frames.  Frame 0 is the origin, frame
+        ``k - 1`` the destination.
+        """
+        if frames is None:
+            return self._points
+        frames = list(frames)
+        k = self.n_points_each
+        for f in frames:
+            if not 0 <= f < k:
+                raise ValidationError(f"frame {f} out of range [0, {k})")
+        return self._points[:, frames, :]
+
+    def subset(self, indices: np.ndarray) -> "TrajectoryDataset":
+        """A new dataset containing only the given trajectory indices."""
+        return TrajectoryDataset(self._points[np.asarray(indices, dtype=np.int64)])
+
+    def lengths(self) -> np.ndarray:
+        """Euclidean path length of every trajectory."""
+        deltas = np.diff(self._points, axis=1)
+        return np.sqrt((deltas**2).sum(axis=2)).sum(axis=1)

@@ -1,0 +1,17 @@
+"""Plain-text visualization (Figure 3 reproduction without matplotlib)."""
+
+from .ascii_heatmap import (
+    DENSITY_CHARS,
+    ascii_heatmap,
+    ascii_partition_overlay,
+    downsample_2d,
+    render_grid_partitioning,
+)
+
+__all__ = [
+    "DENSITY_CHARS",
+    "ascii_heatmap",
+    "ascii_partition_overlay",
+    "downsample_2d",
+    "render_grid_partitioning",
+]

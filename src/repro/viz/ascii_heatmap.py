@@ -1,0 +1,159 @@
+"""ASCII rendering of 2-D frequency matrices and DAF partition overlays.
+
+No plotting libraries are available offline, so the paper's Figure 3 —
+heat map of a city with the first-dimension splits (green vertical lines)
+and second-dimension splits (yellow horizontal lines) — is reproduced in
+plain text: density shading characters, ``|`` for dimension-1 cuts and
+``-`` for dimension-2 cuts (``+`` at crossings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ValidationError
+from ..core.frequency_matrix import FrequencyMatrix
+
+#: Density ramp from empty to dense.
+DENSITY_CHARS = " .:-=+*#%@"
+
+
+def downsample_2d(data: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Average-pool a 2-D array to approximately ``rows x cols``."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValidationError(f"need a 2-D array, got ndim={data.ndim}")
+    r = min(rows, data.shape[0])
+    c = min(cols, data.shape[1])
+    row_edges = np.linspace(0, data.shape[0], r + 1).astype(int)
+    col_edges = np.linspace(0, data.shape[1], c + 1).astype(int)
+    out = np.zeros((r, c))
+    for i in range(r):
+        for j in range(c):
+            block = data[row_edges[i]:row_edges[i + 1],
+                         col_edges[j]:col_edges[j + 1]]
+            out[i, j] = block.mean() if block.size else 0.0
+    return out
+
+
+def ascii_heatmap(
+    matrix: FrequencyMatrix | np.ndarray,
+    rows: int = 30,
+    cols: int = 60,
+    log_scale: bool = True,
+) -> str:
+    """Shade a 2-D matrix with :data:`DENSITY_CHARS`.
+
+    ``log_scale`` compresses the dynamic range (city data is heavy-tailed).
+    """
+    data = matrix.data if isinstance(matrix, FrequencyMatrix) else np.asarray(matrix)
+    if data.ndim != 2:
+        raise ValidationError("ascii_heatmap renders 2-D matrices only")
+    pooled = downsample_2d(data, rows, cols)
+    if log_scale:
+        pooled = np.log1p(pooled)
+    top = pooled.max()
+    if top <= 0:
+        levels = np.zeros_like(pooled, dtype=int)
+    else:
+        levels = np.minimum(
+            (pooled / top * (len(DENSITY_CHARS) - 1)).astype(int),
+            len(DENSITY_CHARS) - 1,
+        )
+    lines = ["".join(DENSITY_CHARS[v] for v in row) for row in levels]
+    return "\n".join(lines)
+
+
+def _collect_cuts(split_tree: Dict[str, object], max_depth: int = 2
+                  ) -> Tuple[List[int], List[Tuple[int, int, int]]]:
+    """Extract dimension-0 cuts (global) and dimension-1 cuts (per slab)
+    from a DAF ``split_tree`` metadata dict.
+
+    Returns ``(vertical_cuts, horizontal_cuts)`` where each horizontal cut
+    is ``(row_cut, col_lo, col_hi)`` limited to its slab.
+    """
+    vertical: List[int] = []
+    horizontal: List[Tuple[int, int, int]] = []
+
+    def walk(node: Dict[str, object]) -> None:
+        depth = int(node["depth"])  # type: ignore[arg-type]
+        children = node.get("children")
+        if not children or depth >= max_depth:
+            return
+        axis = int(node.get("split_axis", depth))  # type: ignore[arg-type]
+        box = node["box"]
+        for child in children[1:]:  # type: ignore[index]
+            cut = int(child["box"][axis][0])  # type: ignore[index]
+            if axis == 0:
+                vertical.append(cut)
+            elif axis == 1:
+                (c_lo, c_hi) = (int(box[0][0]), int(box[0][1]))  # type: ignore[index]
+                horizontal.append((cut, c_lo, c_hi))
+        for child in children:  # type: ignore[union-attr]
+            walk(child)
+
+    walk(split_tree)
+    return vertical, horizontal
+
+
+def ascii_partition_overlay(
+    matrix: FrequencyMatrix,
+    split_tree: Dict[str, object],
+    rows: int = 30,
+    cols: int = 60,
+    log_scale: bool = True,
+) -> str:
+    """The Figure 3 rendition: heat map + DAF level-1/level-2 cut lines.
+
+    The matrix's dimension 0 is drawn on the x-axis (so dimension-0 cuts
+    are vertical lines, matching the paper's green lines) and dimension 1
+    on the y-axis (dimension-1 cuts are horizontal, the yellow lines).
+    """
+    data = matrix.data
+    if data.ndim != 2:
+        raise ValidationError("partition overlay renders 2-D matrices only")
+    # Transpose so dim 0 becomes columns (x-axis).
+    grid = [list(line) for line in
+            ascii_heatmap(data.T, rows, cols, log_scale).split("\n")]
+    n_rows = len(grid)
+    n_cols = len(grid[0]) if grid else 0
+    dim0, dim1 = data.shape
+
+    def col_of(cut: int) -> int:
+        return min(n_cols - 1, int(round(cut / dim0 * n_cols)))
+
+    def row_of(cut: int) -> int:
+        return min(n_rows - 1, int(round(cut / dim1 * n_rows)))
+
+    vertical, horizontal = _collect_cuts(split_tree)
+    for cut in vertical:
+        c = col_of(cut)
+        for r in range(n_rows):
+            grid[r][c] = "|"
+    for cut, c_lo, c_hi in horizontal:
+        r = row_of(cut)
+        for c in range(col_of(c_lo), col_of(c_hi) + 1):
+            grid[r][c] = "+" if grid[r][c] == "|" else "-"
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_grid_partitioning(
+    shape: Tuple[int, int],
+    m: int,
+    rows: int = 30,
+    cols: int = 60,
+) -> str:
+    """Uniform m x m grid lines only (the non-adaptive panel of Fig. 3a)."""
+    if len(shape) != 2:
+        raise ValidationError("grid rendering is 2-D only")
+    grid = [[" "] * cols for _ in range(rows)]
+    for k in range(1, m):
+        c = min(cols - 1, int(round(k / m * cols)))
+        r = min(rows - 1, int(round(k / m * rows)))
+        for i in range(rows):
+            grid[i][c] = "|"
+        for j in range(cols):
+            grid[r][j] = "+" if grid[r][j] == "|" else "-"
+    return "\n".join("".join(row) for row in grid)

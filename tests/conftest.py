@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Domain, FrequencyMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_2d(rng) -> FrequencyMatrix:
+    """A 16x16 matrix with mild Poisson counts."""
+    return FrequencyMatrix(rng.poisson(3.0, size=(16, 16)).astype(float))
+
+
+@pytest.fixture
+def skewed_2d(rng) -> FrequencyMatrix:
+    """A 32x32 matrix with a strong central cluster (city-like skew)."""
+    pts = rng.normal(16, 3, size=(5000, 2))
+    cells = np.clip(np.rint(pts), 0, 31).astype(np.int64)
+    return FrequencyMatrix.from_cells(cells, Domain.regular((32, 32)))
+
+
+@pytest.fixture
+def small_4d(rng) -> FrequencyMatrix:
+    """A sparse 8^4 matrix resembling a tiny OD matrix."""
+    pts = rng.normal(4, 1.5, size=(3000, 4))
+    cells = np.clip(np.rint(pts), 0, 7).astype(np.int64)
+    return FrequencyMatrix.from_cells(cells, Domain.regular((8, 8, 8, 8)))
+
+
+@pytest.fixture
+def tiny_1d() -> FrequencyMatrix:
+    return FrequencyMatrix(np.array([5.0, 0.0, 2.0, 7.0, 1.0, 0.0, 3.0, 9.0]))

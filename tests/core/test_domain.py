@@ -1,0 +1,147 @@
+"""Tests for repro.core.domain."""
+
+import numpy as np
+import pytest
+
+from repro.core import DimensionSpec, Domain, ValidationError
+
+
+class TestDimensionSpec:
+    def test_defaults_extent_equals_size(self):
+        d = DimensionSpec(10)
+        assert d.low == 0.0
+        assert d.high == 10.0
+        assert d.width == 1.0
+
+    def test_custom_extent(self):
+        d = DimensionSpec(100, low=-5.0, high=5.0, name="lat")
+        assert d.width == pytest.approx(0.1)
+        assert d.name == "lat"
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(-3)
+
+    def test_rejects_empty_extent(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(10, low=1.0, high=1.0)
+
+    def test_rejects_inverted_extent(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(10, low=2.0, high=1.0)
+
+    def test_rejects_nonfinite_extent(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(10, low=0.0, high=float("inf"))
+
+    def test_to_cell_interior(self):
+        d = DimensionSpec(10, 0.0, 10.0)
+        assert d.to_cell(3.5) == 3
+        assert d.to_cell(0.0) == 0
+        assert d.to_cell(9.999) == 9
+
+    def test_to_cell_clips_out_of_range(self):
+        d = DimensionSpec(10, 0.0, 10.0)
+        assert d.to_cell(-1.0) == 0
+        assert d.to_cell(15.0) == 9
+
+    def test_to_cell_upper_boundary_belongs_to_last_cell(self):
+        d = DimensionSpec(4, 0.0, 8.0)
+        assert d.to_cell(8.0) == 3
+
+    def test_to_cell_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(10).to_cell(float("nan"))
+
+    def test_to_cells_vectorized_matches_scalar(self):
+        d = DimensionSpec(7, -1.0, 6.0)
+        xs = np.linspace(-2.0, 7.0, 23)
+        vec = d.to_cells(xs)
+        assert list(vec) == [d.to_cell(x) for x in xs]
+
+    def test_cell_interval_roundtrip(self):
+        d = DimensionSpec(5, 0.0, 10.0)
+        lo, hi = d.cell_interval(2)
+        assert (lo, hi) == (4.0, 6.0)
+        assert d.to_cell(lo) == 2
+
+    def test_cell_interval_out_of_range(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(5).cell_interval(5)
+
+    def test_interval_to_cells(self):
+        d = DimensionSpec(10, 0.0, 10.0)
+        assert d.interval_to_cells(2.5, 4.5) == (2, 4)
+
+    def test_interval_to_cells_full_extent(self):
+        d = DimensionSpec(10, 0.0, 10.0)
+        assert d.interval_to_cells(0.0, 10.0) == (0, 9)
+
+    def test_interval_to_cells_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            DimensionSpec(10).interval_to_cells(5.0, 4.0)
+
+
+class TestDomain:
+    def test_regular_construction(self):
+        dom = Domain.regular((3, 4, 5))
+        assert dom.ndim == 3
+        assert dom.shape == (3, 4, 5)
+        assert dom.n_cells == 60
+        assert dom.names == ("dim0", "dim1", "dim2")
+
+    def test_regular_with_names(self):
+        dom = Domain.regular((3, 4), names=["x", "y"])
+        assert dom.names == ("x", "y")
+
+    def test_regular_rejects_mismatched_names(self):
+        with pytest.raises(ValidationError):
+            Domain.regular((3, 4), names=["x"])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            Domain(())
+
+    def test_non_spec_member_rejected(self):
+        with pytest.raises(ValidationError):
+            Domain((DimensionSpec(3), "not-a-spec"))
+
+    def test_iteration_and_indexing(self):
+        dom = Domain.regular((2, 3))
+        assert len(dom) == 2
+        assert [d.size for d in dom] == [2, 3]
+        assert dom[1].size == 3
+
+    def test_point_to_cell(self):
+        dom = Domain.regular((10, 10))
+        assert dom.point_to_cell((2.7, 9.1)) == (2, 9)
+
+    def test_point_to_cell_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            Domain.regular((10, 10)).point_to_cell((1.0,))
+
+    def test_points_to_cells_matches_scalar(self, rng):
+        dom = Domain.regular((8, 12))
+        pts = rng.uniform(0, 8, size=(50, 2))
+        pts[:, 1] *= 12 / 8
+        vec = dom.points_to_cells(pts)
+        for row, pt in zip(vec, pts):
+            assert tuple(row) == dom.point_to_cell(pt)
+
+    def test_points_to_cells_shape_check(self):
+        with pytest.raises(ValidationError):
+            Domain.regular((8, 12)).points_to_cells(np.zeros((5, 3)))
+
+    def test_box_to_cells(self):
+        dom = Domain.regular((10, 20))
+        # hi coordinates are inclusive: 18.0 lies in cell 18 (= [18, 19)).
+        box = dom.box_to_cells((1.5, 3.0), (4.5, 18.0))
+        assert box == ((1, 4), (3, 18))
+
+    def test_box_to_cells_arity_check(self):
+        with pytest.raises(ValidationError):
+            Domain.regular((10, 20)).box_to_cells((1.0,), (2.0,))

@@ -1,0 +1,130 @@
+"""Tests for repro.core.entropy (paper Def. 4, Eq. 14-17)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrequencyMatrix,
+    Partition,
+    Partitioning,
+    ValidationError,
+    distribution_entropy,
+    information_loss,
+    laplace_noise_entropy,
+    matrix_entropy,
+    partition_entropy,
+    partitioned_entropy_approximation,
+    uniform_entropy_approximation,
+)
+
+
+class TestDistributionEntropy:
+    def test_uniform_distribution(self):
+        assert distribution_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_point_mass_is_zero(self):
+        assert distribution_entropy([0, 7, 0]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert distribution_entropy([]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert distribution_entropy([0.0, 0.0]) == 0.0
+
+    def test_scale_invariance(self):
+        a = distribution_entropy([1, 2, 3])
+        b = distribution_entropy([10, 20, 30])
+        assert a == pytest.approx(b)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            distribution_entropy([1, -1])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            distribution_entropy([1, float("nan")])
+
+    def test_known_value(self):
+        # H(0.25, 0.75) = 0.811278...
+        assert distribution_entropy([1, 3]) == pytest.approx(0.8112781, abs=1e-6)
+
+
+class TestMatrixEntropy:
+    def test_uniform_matrix(self):
+        fm = FrequencyMatrix(np.ones((4, 4)))
+        assert matrix_entropy(fm) == pytest.approx(4.0)  # log2(16)
+
+    def test_partition_entropy_single_partition_is_zero(self, small_2d):
+        pt = Partitioning.single(small_2d.shape, 0.0)
+        assert partition_entropy(small_2d, pt) == 0.0
+
+    def test_partition_entropy_of_halves(self):
+        fm = FrequencyMatrix(np.ones((4, 4)))
+        parts = [
+            Partition(((0, 1), (0, 3)), 0.0),
+            Partition(((2, 3), (0, 3)), 0.0),
+        ]
+        pt = Partitioning(parts, (4, 4))
+        assert partition_entropy(fm, pt) == pytest.approx(1.0)
+
+    def test_information_loss_nonnegative(self, skewed_2d):
+        pt = Partitioning.single(skewed_2d.shape, 0.0)
+        assert information_loss(skewed_2d, pt) >= -1e-9
+
+    def test_information_loss_zero_for_identity_partitioning(self):
+        fm = FrequencyMatrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        parts = [
+            Partition(((i, i), (j, j)), 0.0)
+            for i in range(2) for j in range(2)
+        ]
+        pt = Partitioning(parts, (2, 2))
+        assert information_loss(fm, pt) == pytest.approx(0.0)
+
+
+class TestApproximations:
+    def test_uniform_entropy_approximation(self):
+        assert uniform_entropy_approximation(1024.0) == pytest.approx(10.0)
+
+    def test_uniform_entropy_clamped(self):
+        assert uniform_entropy_approximation(0.5) == 0.0
+        assert uniform_entropy_approximation(-10.0) == 0.0
+
+    def test_partitioned_entropy_approximation(self):
+        assert partitioned_entropy_approximation(4, 3) == pytest.approx(6.0)
+
+    def test_partitioned_entropy_validates(self):
+        with pytest.raises(ValidationError):
+            partitioned_entropy_approximation(0.5, 2)
+        with pytest.raises(ValidationError):
+            partitioned_entropy_approximation(2, 0)
+
+    def test_laplace_noise_entropy_matches_formula(self):
+        # Eq. 14: -log2(eps / (sqrt(2) m^{d/2})) = log2(sqrt(2) m^{d/2}/eps)
+        got = laplace_noise_entropy(m=16, ndim=2, epsilon=0.5)
+        expected = math.log2(math.sqrt(2) * 16 / 0.5)
+        assert got == pytest.approx(expected)
+
+    def test_laplace_noise_entropy_monotone_in_m(self):
+        a = laplace_noise_entropy(4, 2, 0.1)
+        b = laplace_noise_entropy(8, 2, 0.1)
+        assert b > a
+
+    def test_laplace_noise_entropy_validates(self):
+        with pytest.raises(ValidationError):
+            laplace_noise_entropy(4, 2, 0.0)
+        with pytest.raises(ValidationError):
+            laplace_noise_entropy(0.5, 2, 0.1)
+
+    def test_ebp_balance_point(self):
+        # At the EBP optimum m* = (N eps / sqrt 2)^(2/(3d)), noise entropy
+        # equals the approximate information loss (Eq. 18).
+        n, eps, d = 1e6, 0.1, 2
+        m_star = (n * eps / math.sqrt(2)) ** (2 / (3 * d))
+        noise = laplace_noise_entropy(m_star, d, eps)
+        info_loss = (
+            uniform_entropy_approximation(n)
+            - partitioned_entropy_approximation(m_star, d)
+        )
+        assert noise == pytest.approx(info_loss, rel=1e-9)

@@ -1,0 +1,199 @@
+"""Tests for repro.core.frequency_matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Domain,
+    FrequencyMatrix,
+    QueryError,
+    ValidationError,
+    box_n_cells,
+    box_slices,
+    full_box,
+    validate_box,
+)
+
+
+class TestBoxHelpers:
+    def test_validate_box_ok(self):
+        assert validate_box(((0, 2), (1, 3)), (4, 4)) == ((0, 2), (1, 3))
+
+    def test_validate_box_wrong_arity(self):
+        with pytest.raises(QueryError):
+            validate_box(((0, 2),), (4, 4))
+
+    def test_validate_box_inverted(self):
+        with pytest.raises(QueryError):
+            validate_box(((2, 0),), (4,))
+
+    def test_validate_box_out_of_range(self):
+        with pytest.raises(QueryError):
+            validate_box(((0, 4),), (4,))
+        with pytest.raises(QueryError):
+            validate_box(((-1, 2),), (4,))
+
+    def test_validate_box_malformed(self):
+        with pytest.raises(QueryError):
+            validate_box("nonsense", (4,))
+
+    def test_box_slices(self):
+        assert box_slices(((0, 2), (1, 1))) == (slice(0, 3), slice(1, 2))
+
+    def test_box_n_cells(self):
+        assert box_n_cells(((0, 2), (1, 3))) == 9
+        assert box_n_cells(((5, 5),)) == 1
+
+    def test_full_box(self):
+        assert full_box((3, 4)) == ((0, 2), (0, 3))
+
+
+class TestConstruction:
+    def test_from_list(self):
+        fm = FrequencyMatrix([[1, 2], [3, 4]])
+        assert fm.shape == (2, 2)
+        assert fm.total == 10.0
+
+    def test_zeros(self):
+        fm = FrequencyMatrix.zeros((3, 5))
+        assert fm.total == 0.0
+        assert fm.shape == (3, 5)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix([[1, -2]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix([[float("nan")]])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix(5.0)
+
+    def test_rejects_domain_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix([[1, 2]], Domain.regular((3, 3)))
+
+    def test_from_cells(self):
+        cells = np.array([[0, 0], [0, 0], [1, 2]])
+        fm = FrequencyMatrix.from_cells(cells, Domain.regular((2, 3)))
+        assert fm.data[0, 0] == 2.0
+        assert fm.data[1, 2] == 1.0
+        assert fm.total == 3.0
+
+    def test_from_cells_out_of_range(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix.from_cells(
+                np.array([[0, 3]]), Domain.regular((2, 3))
+            )
+
+    def test_from_cells_with_weights(self):
+        cells = np.array([[0, 0], [1, 1]])
+        fm = FrequencyMatrix.from_cells(
+            cells, Domain.regular((2, 2)), weights=np.array([2.5, 0.5])
+        )
+        assert fm.data[0, 0] == 2.5
+        assert fm.total == 3.0
+
+    def test_from_cells_rejects_negative_weights(self):
+        with pytest.raises(ValidationError):
+            FrequencyMatrix.from_cells(
+                np.array([[0, 0]]), Domain.regular((2, 2)),
+                weights=np.array([-1.0]),
+            )
+
+    def test_from_points_clips_to_domain(self):
+        dom = Domain.regular((4, 4))
+        pts = np.array([[-10.0, 1.5], [2.2, 99.0]])
+        fm = FrequencyMatrix.from_points(pts, dom)
+        assert fm.data[0, 1] == 1.0
+        assert fm.data[2, 3] == 1.0
+        assert fm.total == 2.0
+
+    def test_from_points_preserves_count(self, rng):
+        dom = Domain.regular((10, 10))
+        pts = rng.normal(5, 5, size=(500, 2))
+        fm = FrequencyMatrix.from_points(pts, dom)
+        assert fm.total == 500.0
+
+
+class TestQueries:
+    def test_range_count_full(self, small_2d):
+        assert small_2d.range_count(full_box(small_2d.shape)) == small_2d.total
+
+    def test_range_count_single_cell(self, small_2d):
+        assert small_2d.range_count(((3, 3), (4, 4))) == small_2d.data[3, 4]
+
+    def test_range_count_matches_numpy(self, small_2d):
+        box = ((2, 9), (1, 13))
+        assert small_2d.range_count(box) == small_2d.data[2:10, 1:14].sum()
+
+    def test_range_count_validates(self, small_2d):
+        with pytest.raises(QueryError):
+            small_2d.range_count(((0, 16), (0, 0)))
+
+    def test_box_view_is_view(self, small_2d):
+        view = small_2d.box_view(((0, 1), (0, 1)))
+        assert view.shape == (2, 2)
+        assert np.shares_memory(view, small_2d.data)
+
+    def test_additivity_of_disjoint_boxes(self, small_2d):
+        left = small_2d.range_count(((0, 7), (0, 15)))
+        right = small_2d.range_count(((8, 15), (0, 15)))
+        assert left + right == pytest.approx(small_2d.total)
+
+
+class TestTransforms:
+    def test_copy_is_independent(self, small_2d):
+        cp = small_2d.copy()
+        cp.data[0, 0] += 1
+        assert cp.data[0, 0] != small_2d.data[0, 0]
+
+    def test_equality(self):
+        a = FrequencyMatrix([[1, 2]])
+        b = FrequencyMatrix([[1, 2]])
+        c = FrequencyMatrix([[1, 3]])
+        assert a == b
+        assert a != c
+        assert a != "nonsense"
+
+    def test_marginal_sums_out_axes(self, small_4d):
+        marg = small_4d.marginal([0, 1])
+        assert marg.shape == (8, 8)
+        assert marg.total == pytest.approx(small_4d.total)
+        expected = small_4d.data.sum(axis=(2, 3))
+        assert np.allclose(marg.data, expected)
+
+    def test_marginal_axis_order_respected(self, small_4d):
+        ab = small_4d.marginal([0, 2])
+        ba = small_4d.marginal([2, 0])
+        assert np.allclose(ab.data.T, ba.data)
+
+    def test_marginal_rejects_duplicates(self, small_4d):
+        with pytest.raises(ValidationError):
+            small_4d.marginal([0, 0])
+
+    def test_marginal_rejects_bad_axis(self, small_4d):
+        with pytest.raises(ValidationError):
+            small_4d.marginal([0, 7])
+
+    def test_marginal_requires_axes(self, small_4d):
+        with pytest.raises(ValidationError):
+            small_4d.marginal([])
+
+    def test_nonzero_fraction(self):
+        fm = FrequencyMatrix([[1, 0], [0, 3]])
+        assert fm.nonzero_fraction() == 0.5
+
+    def test_probabilities_sum_to_one(self, small_2d):
+        assert small_2d.probabilities().sum() == pytest.approx(1.0)
+
+    def test_probabilities_of_empty_matrix(self):
+        fm = FrequencyMatrix.zeros((2, 2))
+        assert fm.probabilities().sum() == 0.0
+
+    def test_iter_cells_skips_zeros(self):
+        fm = FrequencyMatrix([[0, 5], [0, 0]])
+        cells = list(fm.iter_cells())
+        assert cells == [((0, 1), 5.0)]

@@ -1,0 +1,193 @@
+"""Tests for repro.core.partition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Partition,
+    Partitioning,
+    PartitioningError,
+    full_box,
+    grid_boxes,
+    split_interval,
+)
+
+
+class TestPartition:
+    def test_basic_properties(self):
+        p = Partition(((0, 3), (2, 2)), noisy_count=5.5, true_count=6.0)
+        assert p.n_cells == 4
+        assert p.ndim == 2
+        assert p.noisy_count == 5.5
+        assert p.true_count == 6.0
+
+    def test_noisy_count_may_be_negative(self):
+        p = Partition(((0, 0),), noisy_count=-3.2)
+        assert p.noisy_count == -3.2
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(PartitioningError):
+            Partition(((3, 1),), 0.0)
+
+    def test_rejects_negative_lo(self):
+        with pytest.raises(PartitioningError):
+            Partition(((-1, 1),), 0.0)
+
+    def test_contains_cell(self):
+        p = Partition(((0, 3), (2, 5)), 0.0)
+        assert p.contains_cell((0, 2))
+        assert p.contains_cell((3, 5))
+        assert not p.contains_cell((4, 2))
+        assert not p.contains_cell((0, 6))
+
+    def test_contains_cell_arity(self):
+        with pytest.raises(PartitioningError):
+            Partition(((0, 3),), 0.0).contains_cell((0, 0))
+
+    def test_overlap_cells_disjoint(self):
+        p = Partition(((0, 3), (0, 3)), 0.0)
+        assert p.overlap_cells(((4, 7), (0, 3))) == 0
+
+    def test_overlap_cells_partial(self):
+        p = Partition(((0, 3), (0, 3)), 0.0)
+        assert p.overlap_cells(((2, 5), (1, 2))) == 4  # rows 2-3 x cols 1-2
+
+    def test_overlap_cells_contained(self):
+        p = Partition(((0, 9), (0, 9)), 0.0)
+        assert p.overlap_cells(((3, 4), (5, 5))) == 2
+
+    def test_uniform_answer_proportional(self):
+        p = Partition(((0, 3),), noisy_count=8.0)
+        assert p.uniform_answer(((0, 1),)) == pytest.approx(4.0)
+        assert p.uniform_answer(((0, 3),)) == pytest.approx(8.0)
+        assert p.uniform_answer(((0, 0),)) == pytest.approx(2.0)
+
+    def test_uniform_answer_zero_when_disjoint(self):
+        p = Partition(((0, 3),), noisy_count=8.0)
+        assert p.uniform_answer(((4, 5),)) == 0.0
+
+
+class TestPartitioning:
+    def test_single(self):
+        pt = Partitioning.single((4, 4), noisy_count=10.0)
+        assert len(pt) == 1
+        assert pt[0].box == full_box((4, 4))
+        assert pt.total_noisy_count == 10.0
+
+    def test_valid_cover_accepted(self):
+        parts = [
+            Partition(((0, 1), (0, 3)), 1.0),
+            Partition(((2, 3), (0, 1)), 2.0),
+            Partition(((2, 3), (2, 3)), 3.0),
+        ]
+        pt = Partitioning(parts, (4, 4))
+        assert len(pt) == 3
+        assert pt.total_noisy_count == 6.0
+
+    def test_gap_rejected(self):
+        parts = [Partition(((0, 1), (0, 3)), 1.0)]
+        with pytest.raises(PartitioningError):
+            Partitioning(parts, (4, 4))
+
+    def test_overlap_rejected(self):
+        parts = [
+            Partition(((0, 2), (0, 3)), 1.0),
+            Partition(((2, 3), (0, 3)), 2.0),
+        ]
+        with pytest.raises(PartitioningError):
+            Partitioning(parts, (4, 4))
+
+    def test_double_cover_same_cell_count_rejected(self):
+        # Two overlapping boxes whose total cell count equals the matrix:
+        # the pairwise check must catch this.
+        parts = [
+            Partition(((0, 1),), 1.0),
+            Partition(((1, 2),), 1.0),
+        ]
+        with pytest.raises(PartitioningError):
+            Partitioning(parts, (4,))
+
+    def test_out_of_bounds_rejected(self):
+        parts = [Partition(((0, 4),), 1.0)]
+        with pytest.raises(Exception):
+            Partitioning(parts, (4,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitioningError):
+            Partitioning([], (4,))
+
+    def test_find(self):
+        parts = [
+            Partition(((0, 1),), 1.0),
+            Partition(((2, 3),), 2.0),
+        ]
+        pt = Partitioning(parts, (4,))
+        assert pt.find((0,)).noisy_count == 1.0
+        assert pt.find((3,)).noisy_count == 2.0
+
+    def test_find_missing(self):
+        pt = Partitioning([Partition(((0, 3),), 1.0)], (4,), validate=False)
+        with pytest.raises(PartitioningError):
+            pt.find((9,))
+
+    def test_iteration(self):
+        pt = Partitioning.single((2, 2), 1.0)
+        assert [p.noisy_count for p in pt] == [1.0]
+
+
+class TestGridBoxes:
+    def test_exact_division(self):
+        boxes = grid_boxes((4, 4), (2, 2))
+        assert len(boxes) == 4
+        assert ((0, 1), (0, 1)) in boxes
+        assert ((2, 3), (2, 3)) in boxes
+
+    def test_uneven_division(self):
+        boxes = grid_boxes((5,), (2,))
+        # linspace(0, 5, 3) -> 0, 2.5, 5 -> cuts 0, 2, 5
+        assert boxes == [((0, 1),), ((2, 4),)]
+
+    def test_m_exceeding_size_clamps(self):
+        boxes = grid_boxes((3,), (10,))
+        assert boxes == [((0, 0),), ((1, 1),), ((2, 2),)]
+
+    def test_m_one_is_whole_axis(self):
+        boxes = grid_boxes((7, 3), (1, 3))
+        assert len(boxes) == 3
+        assert all(b[0] == (0, 6) for b in boxes)
+
+    def test_boxes_tile_matrix(self):
+        shape = (7, 5, 3)
+        boxes = grid_boxes(shape, (3, 2, 2))
+        covered = np.zeros(shape, dtype=int)
+        for box in boxes:
+            sl = tuple(slice(lo, hi + 1) for lo, hi in box)
+            covered[sl] += 1
+        assert (covered == 1).all()
+
+
+class TestSplitInterval:
+    def test_no_cuts(self):
+        assert split_interval(2, 7, []) == [(2, 7)]
+
+    def test_with_cuts(self):
+        assert split_interval(0, 9, [3, 7]) == [(0, 2), (3, 6), (7, 9)]
+
+    def test_cut_at_hi_allowed(self):
+        assert split_interval(0, 4, [4]) == [(0, 3), (4, 4)]
+
+    def test_cut_at_lo_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_interval(0, 4, [0])
+
+    def test_unsorted_cuts_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_interval(0, 9, [7, 3])
+
+    def test_duplicate_cuts_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_interval(0, 9, [3, 3])
+
+    def test_out_of_range_cut_rejected(self):
+        with pytest.raises(PartitioningError):
+            split_interval(0, 4, [9])

@@ -1,0 +1,178 @@
+"""Tests for repro.core.private_matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Domain,
+    Partition,
+    Partitioning,
+    PrivateFrequencyMatrix,
+    QueryError,
+    ValidationError,
+    full_box,
+)
+
+
+def two_partition_private(shape=(4, 4)):
+    parts = [
+        Partition(((0, 1), (0, 3)), noisy_count=8.0, true_count=7.0),
+        Partition(((2, 3), (0, 3)), noisy_count=4.0, true_count=5.0),
+    ]
+    return PrivateFrequencyMatrix(
+        Partitioning(parts, shape), epsilon=0.5, method="test"
+    )
+
+
+class TestConstruction:
+    def test_partition_backed(self):
+        priv = two_partition_private()
+        assert priv.n_partitions == 2
+        assert not priv.is_dense_backed
+        assert priv.method == "test"
+        assert priv.epsilon == 0.5
+
+    def test_dense_backed(self):
+        noisy = np.array([[1.0, -2.0], [0.5, 3.0]])
+        priv = PrivateFrequencyMatrix.from_dense_noisy(noisy, epsilon=1.0)
+        assert priv.is_dense_backed
+        assert priv.n_partitions == 4
+        assert priv.shape == (2, 2)
+
+    def test_dense_backed_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            PrivateFrequencyMatrix.from_dense_noisy(np.array([[np.nan]]))
+
+    def test_dense_backed_copy_semantics(self):
+        noisy = np.ones((2, 2))
+        priv = PrivateFrequencyMatrix.from_dense_noisy(noisy)
+        noisy[0, 0] = 99.0
+        assert priv.dense_array()[0, 0] == 1.0
+
+    def test_partitioning_property_raises_for_dense(self):
+        priv = PrivateFrequencyMatrix.from_dense_noisy(np.ones((2, 2)))
+        with pytest.raises(QueryError):
+            _ = priv.partitioning
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            PrivateFrequencyMatrix(
+                Partitioning.single((2, 2), 1.0), epsilon=-0.1
+            )
+
+    def test_rejects_domain_mismatch(self):
+        with pytest.raises(ValidationError):
+            PrivateFrequencyMatrix(
+                Partitioning.single((2, 2), 1.0), Domain.regular((3, 3))
+            )
+
+
+class TestAnswering:
+    def test_full_box_answer(self):
+        priv = two_partition_private()
+        assert priv.answer(full_box((4, 4))) == pytest.approx(12.0)
+
+    def test_uniformity_within_partition(self):
+        priv = two_partition_private()
+        # First partition: 8 cells with count 8 -> 1 per cell.
+        assert priv.answer(((0, 0), (0, 0))) == pytest.approx(1.0)
+        # Second partition: 8 cells with count 4 -> 0.5 per cell.
+        assert priv.answer(((3, 3), (0, 1))) == pytest.approx(1.0)
+
+    def test_answer_spanning_partitions(self):
+        priv = two_partition_private()
+        # Rows 1-2: half of each partition -> 4 + 2.
+        assert priv.answer(((1, 2), (0, 3))) == pytest.approx(6.0)
+
+    def test_answer_validates_box(self):
+        priv = two_partition_private()
+        with pytest.raises(QueryError):
+            priv.answer(((0, 4), (0, 3)))
+
+    def test_answer_many_matches_answer(self, rng):
+        priv = two_partition_private()
+        boxes = []
+        for _ in range(20):
+            a, b = sorted(rng.integers(0, 4, size=2))
+            c, d = sorted(rng.integers(0, 4, size=2))
+            boxes.append(((int(a), int(b)), (int(c), int(d))))
+        many = priv.answer_many(boxes)
+        single = [priv.answer(bx) for bx in boxes]
+        assert np.allclose(many, single)
+
+    def test_answer_many_empty(self):
+        assert two_partition_private().answer_many([]).size == 0
+
+    def test_dense_and_partition_engines_agree(self, rng):
+        priv = two_partition_private()
+        boxes = []
+        for _ in range(10):
+            a, b = sorted(rng.integers(0, 4, size=2))
+            c, d = sorted(rng.integers(0, 4, size=2))
+            boxes.append(((int(a), int(b)), (int(c), int(d))))
+        via_partitions = [priv.answer(bx) for bx in boxes]
+        via_prefix = priv._prefix_table().query_many(boxes)
+        assert np.allclose(via_partitions, via_prefix)
+
+    def test_answer_continuous(self):
+        priv = two_partition_private()
+        # Domain is regular: cell k covers [k, k+1).
+        assert priv.answer_continuous((0.0, 0.0), (1.9, 3.9)) == pytest.approx(
+            priv.answer(((0, 1), (0, 3)))
+        )
+
+    def test_dense_backed_answers(self):
+        noisy = np.array([[1.0, 2.0], [3.0, 4.0]])
+        priv = PrivateFrequencyMatrix.from_dense_noisy(noisy)
+        assert priv.answer(((0, 1), (0, 0))) == pytest.approx(4.0)
+        assert priv.answer(((0, 0), (0, 1))) == pytest.approx(3.0)
+
+
+class TestDenseReconstruction:
+    def test_dense_array_spreads_uniformly(self):
+        priv = two_partition_private()
+        dense = priv.dense_array()
+        assert dense.shape == (4, 4)
+        assert np.allclose(dense[:2, :], 1.0)
+        assert np.allclose(dense[2:, :], 0.5)
+
+    def test_to_dense_clips_negative(self):
+        parts = [Partition(((0, 1),), -4.0), Partition(((2, 3),), 4.0)]
+        priv = PrivateFrequencyMatrix(Partitioning(parts, (4,)))
+        fm = priv.to_dense()
+        assert (fm.data >= 0).all()
+        assert fm.data[3] == pytest.approx(2.0)
+
+
+class TestSerialization:
+    def test_partition_roundtrip(self):
+        priv = two_partition_private()
+        payload = priv.to_publishable()
+        assert "partitions" in payload
+        # True counts must never be published.
+        assert all("true" not in str(k) for p in payload["partitions"] for k in p)
+        back = PrivateFrequencyMatrix.from_publishable(payload)
+        assert back.n_partitions == 2
+        assert back.answer(full_box((4, 4))) == pytest.approx(12.0)
+
+    def test_dense_roundtrip(self):
+        noisy = np.array([[1.5, -0.5], [2.0, 0.0]])
+        priv = PrivateFrequencyMatrix.from_dense_noisy(
+            noisy, epsilon=0.7, method="identity"
+        )
+        back = PrivateFrequencyMatrix.from_publishable(priv.to_publishable())
+        assert back.is_dense_backed
+        assert np.allclose(back.dense_array(), noisy)
+        assert back.epsilon == 0.7
+
+    def test_malformed_payload(self):
+        with pytest.raises(QueryError):
+            PrivateFrequencyMatrix.from_publishable({"shape": "bad"})
+        with pytest.raises(QueryError):
+            PrivateFrequencyMatrix.from_publishable({})
+
+    def test_cell_payload_size_checked(self):
+        with pytest.raises(QueryError):
+            PrivateFrequencyMatrix.from_publishable(
+                {"shape": [2, 2], "cells": [1.0, 2.0]}
+            )

@@ -1,0 +1,133 @@
+"""Tests for repro.core.sparse."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, SparseFrequencyMatrix, ValidationError
+
+
+class TestBasics:
+    def test_empty(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        assert sm.total == 0.0
+        assert sm.n_nonzero == 0
+        assert len(sm) == 0
+
+    def test_increment_and_get(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        sm.increment((1, 2))
+        sm.increment((1, 2), 2.5)
+        assert sm.get((1, 2)) == 3.5
+        assert sm.get((0, 0)) == 0.0
+        assert sm.n_nonzero == 1
+
+    def test_increment_zero_is_noop(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        sm.increment((0, 0), 0.0)
+        assert sm.n_nonzero == 0
+
+    def test_increment_rejects_negative(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.increment((0, 0), -1.0)
+
+    def test_increment_rejects_out_of_range(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.increment((4, 0))
+        with pytest.raises(ValidationError):
+            sm.increment((0, -1))
+
+    def test_increment_rejects_wrong_arity(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.increment((0,))
+
+    def test_domain_shape_mismatch_rejected(self):
+        from repro.core import Domain
+        with pytest.raises(ValidationError):
+            SparseFrequencyMatrix((4, 4), Domain.regular((3, 3)))
+
+
+class TestIncrementMany:
+    def test_counts_duplicates(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        cells = np.array([[0, 0], [0, 0], [1, 1]])
+        sm.increment_many(cells)
+        assert sm.get((0, 0)) == 2.0
+        assert sm.get((1, 1)) == 1.0
+        assert sm.total == 3.0
+
+    def test_accumulates_across_calls(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        sm.increment_many(np.array([[0, 0]]))
+        sm.increment_many(np.array([[0, 0]]))
+        assert sm.get((0, 0)) == 2.0
+
+    def test_rejects_out_of_range(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.increment_many(np.array([[0, 9]]))
+
+    def test_rejects_wrong_shape(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.increment_many(np.array([0, 1]))
+
+
+class TestDensify:
+    def test_roundtrip(self, rng):
+        sm = SparseFrequencyMatrix((5, 5, 5))
+        cells = rng.integers(0, 5, size=(200, 3))
+        sm.increment_many(cells)
+        dense = sm.to_dense()
+        assert dense.total == 200.0
+        back = SparseFrequencyMatrix.from_dense(dense)
+        assert back.total == 200.0
+        assert back.n_nonzero == sm.n_nonzero
+
+    def test_limit_enforced(self):
+        sm = SparseFrequencyMatrix((100, 100, 100))
+        with pytest.raises(ValidationError):
+            sm.to_dense(limit=1000)
+
+    def test_from_dense_keeps_only_nonzero(self):
+        fm = FrequencyMatrix([[0.0, 3.0], [0.0, 0.0]])
+        sm = SparseFrequencyMatrix.from_dense(fm)
+        assert sm.n_nonzero == 1
+        assert sm.get((0, 1)) == 3.0
+
+
+class TestCoarsen:
+    def test_exact_halving(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        sm.increment((0, 0), 1.0)
+        sm.increment((1, 1), 2.0)
+        sm.increment((3, 3), 4.0)
+        coarse = sm.coarsen((2, 2))
+        assert coarse.get((0, 0)) == 3.0
+        assert coarse.get((1, 1)) == 4.0
+        assert coarse.total == sm.total
+
+    def test_coarsen_to_one(self):
+        sm = SparseFrequencyMatrix((8,))
+        for i in range(8):
+            sm.increment((i,), float(i))
+        coarse = sm.coarsen((1,))
+        assert coarse.get((0,)) == sum(range(8))
+
+    def test_rejects_refining(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.coarsen((8, 4))
+
+    def test_rejects_dimensionality_change(self):
+        sm = SparseFrequencyMatrix((4, 4))
+        with pytest.raises(ValidationError):
+            sm.coarsen((4,))
+
+    def test_total_preserved_uneven(self, rng):
+        sm = SparseFrequencyMatrix((10, 10))
+        sm.increment_many(rng.integers(0, 10, size=(300, 2)))
+        coarse = sm.coarsen((3, 7))
+        assert coarse.total == pytest.approx(sm.total)

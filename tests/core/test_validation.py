@@ -1,0 +1,107 @@
+"""Tests for repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ValidationError
+from repro.core.validation import (
+    require_count_array,
+    require_fraction,
+    require_positive_float,
+    require_positive_int,
+    require_shape,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_int(self):
+        assert require_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert require_positive_int(np.int64(3), "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(3.0, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValidationError, match="budget"):
+            require_positive_int(-1, "budget")
+
+
+class TestRequirePositiveFloat:
+    def test_accepts_float(self):
+        assert require_positive_float(0.5, "x") == 0.5
+
+    def test_accepts_int(self):
+        assert require_positive_float(2, "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive_float(0.0, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            require_positive_float(float("inf"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            require_positive_float("abc", "x")
+
+
+class TestRequireFraction:
+    def test_open_interval(self):
+        assert require_fraction(0.3, "q") == 0.3
+        with pytest.raises(ValidationError):
+            require_fraction(0.0, "q")
+        with pytest.raises(ValidationError):
+            require_fraction(1.0, "q")
+
+    def test_inclusive(self):
+        assert require_fraction(0.0, "q", inclusive=True) == 0.0
+        assert require_fraction(1.0, "q", inclusive=True) == 1.0
+        with pytest.raises(ValidationError):
+            require_fraction(1.1, "q", inclusive=True)
+
+
+class TestRequireShape:
+    def test_normalizes(self):
+        assert require_shape([3, np.int64(4)]) == (3, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            require_shape([])
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValidationError):
+            require_shape([3, 0])
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValidationError):
+            require_shape("abc")  # letters are not ints
+
+
+class TestRequireCountArray:
+    def test_returns_float64(self):
+        arr = require_count_array([[1, 2]])
+        assert arr.dtype == np.float64
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValidationError):
+            require_count_array(np.float64(1.0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_count_array([-0.5])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            require_count_array([float("inf")])

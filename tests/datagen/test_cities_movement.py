@@ -1,0 +1,134 @@
+"""Tests for the Veraset-substitute city and mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.datagen import (
+    CITY_NAMES,
+    ActivityCenter,
+    CityModel,
+    MovementSimulator,
+    get_city,
+    los_angeles_like,
+    simulate_od_dataset,
+)
+
+
+class TestCityProfiles:
+    def test_builtin_cities(self):
+        for name in CITY_NAMES:
+            city = get_city(name)
+            assert city.name == name
+            assert len(city.centers) >= 3
+
+    def test_unknown_city(self):
+        with pytest.raises(ValidationError):
+            get_city("gotham")
+
+    def test_la_profile(self):
+        assert los_angeles_like().name == "los_angeles"
+
+    def test_density_ordering(self):
+        """NY must be more concentrated than Denver, Denver than Detroit —
+        the 'high / moderate / low density' calibration of Section 6.1."""
+        from repro.core import matrix_entropy
+        entropies = {}
+        for name in CITY_NAMES:
+            fm = get_city(name).population_matrix(
+                n_points=60_000, resolution=128, rng=0
+            )
+            entropies[name] = matrix_entropy(fm)
+        # Higher entropy = more spread out = less density concentration.
+        assert entropies["new_york"] < entropies["denver"] < entropies["detroit"]
+
+    def test_population_matrix_count(self):
+        fm = get_city("denver").population_matrix(
+            n_points=10_000, resolution=64, rng=0
+        )
+        assert fm.total == 10_000.0
+        assert fm.shape == (64, 64)
+
+    def test_sample_points_within_city(self):
+        city = get_city("new_york")
+        pts = city.sample_points(5000, rng=0)
+        assert pts.min() >= 0.0
+        assert pts.max() < city.side_km
+
+    def test_background_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            CityModel("x", (ActivityCenter(1, 1, 1, 1),), background_fraction=1.0)
+
+    def test_needs_centers(self):
+        with pytest.raises(ValidationError):
+            CityModel("x", ())
+
+    def test_activity_center_validation(self):
+        with pytest.raises(ValidationError):
+            ActivityCenter(0, 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            ActivityCenter(0, 0, 1.0, 0.0)
+
+    def test_reproducible(self):
+        city = get_city("detroit")
+        a = city.sample_points(100, rng=5)
+        b = city.sample_points(100, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestMovementSimulator:
+    def test_dataset_shape(self):
+        ds = simulate_od_dataset(get_city("denver"), 500, n_stops=2, rng=0)
+        assert ds.n_trajectories == 500
+        assert ds.n_points_each == 4
+
+    def test_no_stops(self):
+        ds = simulate_od_dataset(get_city("denver"), 200, n_stops=0, rng=0)
+        assert ds.n_points_each == 2
+
+    def test_points_within_city(self):
+        city = get_city("new_york")
+        ds = simulate_od_dataset(city, 1000, n_stops=1, rng=0)
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() < city.side_km
+
+    def test_distance_decay_shortens_trips(self):
+        city = get_city("denver")
+        short = MovementSimulator(city, trip_scale_km=2.0).sample(2000, 0, rng=0)
+        longr = MovementSimulator(city, trip_scale_km=50.0).sample(2000, 0, rng=0)
+        d_short = np.linalg.norm(short.destinations - short.origins, axis=1)
+        d_long = np.linalg.norm(longr.destinations - longr.origins, axis=1)
+        assert d_short.mean() < d_long.mean()
+
+    def test_stops_near_corridor(self):
+        city = get_city("denver")
+        sim = MovementSimulator(city, stop_jitter_km=0.5)
+        ds = sim.sample(1000, n_stops=1, rng=0)
+        o, s, d = ds.points[:, 0], ds.points[:, 1], ds.points[:, 2]
+        # Distance from stop to the O-D segment must be small on average.
+        seg = d - o
+        seg_len = np.linalg.norm(seg, axis=1).clip(1e-9)
+        t = ((s - o) * seg).sum(axis=1) / seg_len**2
+        t = np.clip(t, 0.0, 1.0)
+        proj = o + t[:, None] * seg
+        lateral = np.linalg.norm(s - proj, axis=1)
+        assert np.median(lateral) < 2.0
+
+    def test_parameter_validation(self):
+        city = get_city("denver")
+        with pytest.raises(ValidationError):
+            MovementSimulator(city, trip_scale_km=0.0)
+        with pytest.raises(ValidationError):
+            MovementSimulator(city, stop_jitter_km=-1.0)
+        with pytest.raises(ValidationError):
+            MovementSimulator(city, candidate_factor=0)
+        with pytest.raises(ValidationError):
+            MovementSimulator(city).sample(0)
+        with pytest.raises(ValidationError):
+            MovementSimulator(city).sample(10, n_stops=-1)
+
+    def test_reproducible(self):
+        city = get_city("denver")
+        a = simulate_od_dataset(city, 100, 1, rng=9)
+        b = simulate_od_dataset(city, 100, 1, rng=9)
+        assert np.array_equal(a.points, b.points)

@@ -1,0 +1,127 @@
+"""Tests for the synthetic generators (paper Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.datagen import (
+    gaussian_cluster_points,
+    gaussian_matrix,
+    paper_shape,
+    variance_for_skew,
+    zipf_matrix,
+    zipf_points,
+)
+
+
+class TestPaperShape:
+    def test_2d(self):
+        assert paper_shape(2, 1_000_000) == (1000, 1000)
+
+    def test_4d(self):
+        assert paper_shape(4, 1_000_000) == (31, 31, 31, 31)
+
+    def test_6d(self):
+        assert paper_shape(6, 1_000_000) == (10, 10, 10, 10, 10, 10)
+
+    def test_minimum_width(self):
+        assert paper_shape(10, 100) == tuple([2] * 10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            paper_shape(0)
+        with pytest.raises(ValidationError):
+            paper_shape(2, 0)
+
+
+class TestGaussian:
+    def test_point_count_exact(self):
+        fm = gaussian_matrix(2, variance=4.0, n_points=5000, rng=0)
+        assert fm.total == 5000.0
+
+    def test_shape_default(self):
+        fm = gaussian_matrix(3, variance=4.0, n_points=8000, rng=0)
+        assert fm.shape == paper_shape(3, 8000)
+
+    def test_explicit_shape(self):
+        fm = gaussian_matrix(2, 4.0, 1000, rng=0, shape=(20, 30))
+        assert fm.shape == (20, 30)
+
+    def test_shape_arity_checked(self):
+        with pytest.raises(ValidationError):
+            gaussian_matrix(2, 4.0, 1000, rng=0, shape=(20, 30, 40))
+
+    def test_lower_variance_more_skew(self):
+        from repro.core import matrix_entropy
+        tight = gaussian_matrix(2, 1.0, 20_000, rng=0, shape=(50, 50))
+        wide = gaussian_matrix(2, 400.0, 20_000, rng=0, shape=(50, 50))
+        # Lower variance concentrates mass: lower entropy, higher peak.
+        assert matrix_entropy(tight) < matrix_entropy(wide)
+        assert tight.data.max() > wide.data.max()
+
+    def test_center_respected(self):
+        cells = gaussian_cluster_points(
+            (100, 100), variance=1.0, n_points=5000, rng=0, center=(20, 80)
+        )
+        assert abs(cells[:, 0].mean() - 20) < 1.0
+        assert abs(cells[:, 1].mean() - 80) < 1.0
+
+    def test_center_arity_checked(self):
+        with pytest.raises(ValidationError):
+            gaussian_cluster_points((10, 10), 1.0, 100, rng=0, center=(5,))
+
+    def test_points_clipped_to_domain(self):
+        cells = gaussian_cluster_points(
+            (10, 10), variance=400.0, n_points=2000, rng=0
+        )
+        assert cells.min() >= 0
+        assert cells.max() <= 9
+
+    def test_reproducible(self):
+        a = gaussian_matrix(2, 4.0, 1000, rng=7, shape=(20, 20))
+        b = gaussian_matrix(2, 4.0, 1000, rng=7, shape=(20, 20))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gaussian_cluster_points((10,), 0.0, 100)
+        with pytest.raises(ValidationError):
+            gaussian_cluster_points((10,), 1.0, 0)
+
+    def test_variance_for_skew(self):
+        assert variance_for_skew((100, 200), 0.1) == pytest.approx(100.0)
+        with pytest.raises(ValidationError):
+            variance_for_skew((100,), 0.0)
+
+
+class TestZipf:
+    def test_point_count_exact(self):
+        fm = zipf_matrix(2, a=2.0, n_points=5000, rng=0)
+        assert fm.total == 5000.0
+
+    def test_mass_concentrates_at_origin(self):
+        fm = zipf_matrix(2, a=2.5, n_points=10_000, rng=0, shape=(50, 50))
+        assert fm.data[0, 0] > fm.total * 0.3
+
+    def test_higher_a_more_skew(self):
+        low = zipf_matrix(2, 1.5, 20_000, rng=0, shape=(50, 50))
+        high = zipf_matrix(2, 3.5, 20_000, rng=0, shape=(50, 50))
+        assert high.data[0, 0] > low.data[0, 0]
+
+    def test_tail_clipped(self):
+        pts = zipf_points((5, 5), a=1.2, n_points=1000, rng=0)
+        assert pts.max() <= 4
+        assert pts.min() >= 0
+
+    def test_rejects_a_leq_one(self):
+        with pytest.raises(ValidationError):
+            zipf_points((5, 5), a=1.0, n_points=10)
+
+    def test_shape_arity_checked(self):
+        with pytest.raises(ValidationError):
+            zipf_matrix(2, 2.0, 100, rng=0, shape=(5,))
+
+    def test_reproducible(self):
+        a = zipf_matrix(2, 2.0, 1000, rng=3, shape=(10, 10))
+        b = zipf_matrix(2, 2.0, 1000, rng=3, shape=(10, 10))
+        assert a == b

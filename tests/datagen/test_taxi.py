@@ -1,0 +1,112 @@
+"""Tests for the taxi-fleet trip generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.datagen import TaxiFleetModel, TaxiStand
+
+
+class TestTaxiStand:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TaxiStand(0, 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            TaxiStand(0, 0, 1.0, -1.0)
+
+
+class TestTaxiFleetModel:
+    def test_default_stands(self):
+        model = TaxiFleetModel()
+        names = {s.name for s in model.stands}
+        assert {"downtown", "airport"} <= names
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            TaxiFleetModel(side_km=0.0)
+        with pytest.raises(ValidationError):
+            TaxiFleetModel(street_hail_fraction=1.5)
+        with pytest.raises(ValidationError):
+            TaxiFleetModel(pair_affinity=-0.1)
+        with pytest.raises(ValidationError):
+            TaxiFleetModel(stands=())
+        with pytest.raises(ValidationError):
+            TaxiFleetModel().sample_trips(0)
+
+    def test_trip_shapes(self):
+        model = TaxiFleetModel()
+        trips = model.sample_trips(500, rng=0)
+        assert trips.n_trajectories == 500
+        assert trips.n_points_each == 2
+
+    def test_waypoint_trips(self):
+        trips = TaxiFleetModel().sample_trips(200, with_waypoint=True, rng=0)
+        assert trips.n_points_each == 3
+
+    def test_trips_within_city(self):
+        model = TaxiFleetModel(side_km=70.0)
+        trips = model.sample_trips(2000, rng=1)
+        assert trips.points.min() >= 0.0
+        assert trips.points.max() < 70.0
+
+    def test_reproducible(self):
+        model = TaxiFleetModel()
+        a = model.sample_trips(100, rng=5).points
+        b = model.sample_trips(100, rng=5).points
+        assert np.array_equal(a, b)
+
+    def test_pickups_concentrate_at_stands(self):
+        """Stand pickups must dominate over uniform street hails."""
+        model = TaxiFleetModel(street_hail_fraction=0.1)
+        trips = model.sample_trips(5000, rng=2)
+        stands = np.array([[s.x, s.y] for s in model.stands])
+        d = np.linalg.norm(
+            trips.origins[:, None, :] - stands[None, :, :], axis=2
+        ).min(axis=1)
+        near = (d < 5.0).mean()
+        assert near > 0.7
+
+    def test_pair_affinity_shapes_flows(self):
+        """High affinity must concentrate dropoffs at the paired stand."""
+        strong = TaxiFleetModel(pair_affinity=0.95, street_hail_fraction=0.0)
+        weak = TaxiFleetModel(pair_affinity=0.0, street_hail_fraction=0.0)
+
+        def paired_fraction(model):
+            trips = model.sample_trips(4000, rng=3)
+            stands = np.array([[s.x, s.y] for s in model.stands])
+            o_stand = np.linalg.norm(
+                trips.origins[:, None, :] - stands[None], axis=2
+            ).argmin(axis=1)
+            d_stand = np.linalg.norm(
+                trips.destinations[:, None, :] - stands[None], axis=2
+            ).argmin(axis=1)
+            return float(
+                (d_stand == (o_stand + 1) % len(model.stands)).mean()
+            )
+
+        assert paired_fraction(strong) > paired_fraction(weak) + 0.2
+
+    def test_stand_regions(self):
+        regions = TaxiFleetModel().stand_regions(radius_km=2.0)
+        assert len(regions) == 4
+        name, ((x_lo, x_hi), (y_lo, y_hi)) = regions[0]
+        assert name == "downtown"
+        assert x_hi - x_lo == pytest.approx(4.0)
+
+    def test_stand_regions_validation(self):
+        with pytest.raises(ValidationError):
+            TaxiFleetModel().stand_regions(radius_km=0.0)
+
+    def test_od_pipeline_integration(self):
+        """Taxi trips feed the OD + sanitization pipeline end to end."""
+        from repro.methods import DAFEntropy
+        from repro.trajectories import classical_od_matrix, flow_between
+        model = TaxiFleetModel(pair_affinity=0.9, street_hail_fraction=0.05)
+        trips = model.sample_trips(20_000, rng=4)
+        matrix = classical_od_matrix(trips, model.grid, cell_budget=500_000)
+        assert matrix.total == 20_000
+        private = DAFEntropy().sanitize(matrix, 1.0, rng=5)
+        regions = dict(model.stand_regions(radius_km=4.0))
+        true = flow_between(matrix, regions["downtown"], regions["rail_station"])
+        noisy = flow_between(private, regions["downtown"], regions["rail_station"])
+        assert noisy == pytest.approx(true, abs=max(1000.0, true))

@@ -1,0 +1,107 @@
+"""Tests for repro.dp.allocation (paper Eq. 29-33)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BudgetError
+from repro.dp import (
+    allocation_noise_variance,
+    geometric_level_budgets,
+    level_budget,
+    root_budget,
+    uniform_level_budgets,
+)
+
+
+class TestRootBudget:
+    def test_one_percent(self):
+        assert root_budget(1.0) == pytest.approx(0.01)
+        assert root_budget(0.1) == pytest.approx(0.001)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BudgetError):
+            root_budget(0.0)
+
+
+class TestGeometricLevelBudgets:
+    def test_sums_to_total(self):
+        budgets = geometric_level_budgets(0.99, m0=8.0, depth=4)
+        assert sum(budgets) == pytest.approx(0.99)
+        assert len(budgets) == 4
+
+    def test_increasing_with_depth(self):
+        # Deeper levels have more nodes, so they receive more budget.
+        budgets = geometric_level_budgets(1.0, m0=8.0, depth=5)
+        assert all(b2 > b1 for b1, b2 in zip(budgets, budgets[1:]))
+
+    def test_matches_closed_form(self):
+        # eps_i = eps' m0^{i/3} / sum_j m0^{j/3} (Eq. 32).
+        m0, depth, eps = 27.0, 3, 0.9
+        budgets = geometric_level_budgets(eps, m0, depth)
+        weights = [m0 ** (i / 3) for i in range(1, depth + 1)]
+        expected = [eps * w / sum(weights) for w in weights]
+        assert np.allclose(budgets, expected)
+
+    def test_m0_one_degenerates_to_uniform(self):
+        budgets = geometric_level_budgets(0.6, m0=1.0, depth=3)
+        assert np.allclose(budgets, [0.2, 0.2, 0.2])
+
+    def test_depth_one(self):
+        assert geometric_level_budgets(0.5, 4.0, 1) == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            geometric_level_budgets(0.0, 2.0, 3)
+        with pytest.raises(BudgetError):
+            geometric_level_budgets(1.0, 0.5, 3)
+        with pytest.raises(BudgetError):
+            geometric_level_budgets(1.0, 2.0, 0)
+
+    def test_level_budget_consistency(self):
+        budgets = geometric_level_budgets(0.9, 9.0, 4)
+        for i in range(1, 5):
+            assert level_budget(0.9, 9.0, 4, i) == pytest.approx(budgets[i - 1])
+
+    def test_level_budget_bounds(self):
+        with pytest.raises(BudgetError):
+            level_budget(0.9, 9.0, 4, 0)
+        with pytest.raises(BudgetError):
+            level_budget(0.9, 9.0, 4, 5)
+
+
+class TestOptimality:
+    def test_geometric_beats_uniform_on_objective(self):
+        """Eq. 32 must minimize Eq. 29 among feasible allocations."""
+        m0, depth, eps = 16.0, 4, 1.0
+        geo = geometric_level_budgets(eps, m0, depth)
+        uni = uniform_level_budgets(eps, depth)
+        assert allocation_noise_variance(geo, m0) <= allocation_noise_variance(
+            uni, m0
+        )
+
+    def test_geometric_beats_random_allocations(self, rng):
+        m0, depth, eps = 8.0, 5, 1.0
+        geo_score = allocation_noise_variance(
+            geometric_level_budgets(eps, m0, depth), m0
+        )
+        for _ in range(50):
+            raw = rng.random(depth) + 1e-3
+            alloc = list(raw / raw.sum() * eps)
+            assert geo_score <= allocation_noise_variance(alloc, m0) + 1e-9
+
+    def test_objective_validates(self):
+        with pytest.raises(BudgetError):
+            allocation_noise_variance([0.5, 0.0], 2.0)
+
+
+class TestUniformLevelBudgets:
+    def test_sums_to_total(self):
+        budgets = uniform_level_budgets(0.7, 7)
+        assert sum(budgets) == pytest.approx(0.7)
+        assert len(budgets) == 7
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            uniform_level_budgets(-1.0, 2)
+        with pytest.raises(BudgetError):
+            uniform_level_budgets(1.0, 0)

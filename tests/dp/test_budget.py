@@ -1,0 +1,117 @@
+"""Tests for repro.dp.budget."""
+
+import pytest
+
+from repro.core import BudgetError
+from repro.dp import BudgetLedger, split_budget
+
+
+class TestLedgerBasics:
+    def test_initial_state(self):
+        ledger = BudgetLedger(1.0)
+        assert ledger.total_spent() == 0.0
+        assert ledger.remaining() == 1.0
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(BudgetError):
+            BudgetLedger(0.0)
+        with pytest.raises(BudgetError):
+            BudgetLedger(-1.0)
+
+    def test_sequential_charges_add(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.3)
+        ledger.charge(0.4)
+        assert ledger.total_spent() == pytest.approx(0.7)
+        assert ledger.remaining() == pytest.approx(0.3)
+
+    def test_rejects_nonpositive_charge(self):
+        ledger = BudgetLedger(1.0)
+        with pytest.raises(BudgetError):
+            ledger.charge(0.0)
+        with pytest.raises(BudgetError):
+            ledger.charge(-0.1)
+
+    def test_strict_overspend_raises(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.9)
+        with pytest.raises(BudgetError):
+            ledger.charge(0.2)
+        # Failed charge is not recorded.
+        assert ledger.total_spent() == pytest.approx(0.9)
+
+    def test_non_strict_allows_overspend_but_assert_fails(self):
+        ledger = BudgetLedger(1.0, strict=False)
+        ledger.charge(0.9)
+        ledger.charge(0.9)
+        with pytest.raises(BudgetError):
+            ledger.assert_within_budget()
+
+    def test_exact_budget_ok(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(1.0)
+        ledger.assert_within_budget()
+        assert ledger.remaining() == 0.0
+
+
+class TestParallelComposition:
+    def test_same_scope_costs_max(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.5, scope="cells")
+        ledger.charge(0.5, scope="cells")
+        ledger.charge(0.5, scope="cells")
+        assert ledger.total_spent() == pytest.approx(0.5)
+
+    def test_mixed_scopes_compose_sequentially(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.3, scope="a")
+        ledger.charge(0.3, scope="b")
+        ledger.charge(0.2)
+        assert ledger.total_spent() == pytest.approx(0.8)
+
+    def test_scope_spent(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.2, scope="a")
+        ledger.charge(0.4, scope="a")
+        assert ledger.scope_spent("a") == pytest.approx(0.4)
+        assert ledger.scope_spent("missing") == 0.0
+
+    def test_overspend_within_scope_detected(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.9, scope="a")
+        with pytest.raises(BudgetError):
+            ledger.charge(1.1, scope="a")
+
+    def test_summary(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.2, scope="grid")
+        ledger.charge(0.1, note="total count")
+        summary = ledger.summary()
+        assert summary["grid"] == pytest.approx(0.2)
+        assert summary["<sequential>"] == pytest.approx(0.1)
+        assert summary["<total>"] == pytest.approx(0.3)
+
+    def test_charges_recorded(self):
+        ledger = BudgetLedger(1.0)
+        ledger.charge(0.1, scope="s", note="hello")
+        assert len(ledger.charges) == 1
+        assert ledger.charges[0].note == "hello"
+
+
+class TestSplitBudget:
+    def test_proportional(self):
+        parts = split_budget(1.0, [3.0, 7.0])
+        assert parts[0] == pytest.approx(0.3)
+        assert parts[1] == pytest.approx(0.7)
+
+    def test_sums_exactly(self):
+        parts = split_budget(0.1, [1.0] * 7)
+        assert sum(parts) == 0.1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(BudgetError):
+            split_budget(0.0, [1.0])
+        with pytest.raises(BudgetError):
+            split_budget(1.0, [])
+        with pytest.raises(BudgetError):
+            split_budget(1.0, [1.0, -1.0])

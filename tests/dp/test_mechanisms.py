@@ -1,0 +1,139 @@
+"""Tests for repro.dp.mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.dp import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    geometric_noise,
+    laplace_noise,
+    laplace_scale,
+    laplace_variance,
+    report_noisy_min,
+)
+
+
+class TestLaplaceScale:
+    def test_formula(self):
+        assert laplace_scale(1.0, 0.5) == 2.0
+        assert laplace_scale(2.0, 0.5) == 4.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            laplace_scale(0.0, 0.5)
+        with pytest.raises(ValidationError):
+            laplace_scale(1.0, 0.0)
+        with pytest.raises(ValidationError):
+            laplace_scale(1.0, -1.0)
+        with pytest.raises(ValidationError):
+            laplace_scale(float("nan"), 0.5)
+
+    def test_variance(self):
+        assert laplace_variance(1.0, 1.0) == pytest.approx(2.0)
+        assert laplace_variance(1.0, 0.5) == pytest.approx(8.0)
+
+
+class TestLaplaceNoise:
+    def test_scalar_draw(self):
+        x = laplace_noise(1.0, 0.5, rng=0)
+        assert isinstance(x, float)
+
+    def test_array_draw(self):
+        arr = laplace_noise(1.0, 0.5, rng=0, size=(3, 4))
+        assert arr.shape == (3, 4)
+
+    def test_reproducible_by_seed(self):
+        a = laplace_noise(1.0, 0.5, rng=7)
+        b = laplace_noise(1.0, 0.5, rng=7)
+        assert a == b
+
+    def test_empirical_variance(self):
+        arr = laplace_noise(1.0, 0.5, rng=1, size=200_000)
+        assert float(np.var(arr)) == pytest.approx(8.0, rel=0.05)
+
+    def test_empirical_mean_zero(self):
+        arr = laplace_noise(1.0, 1.0, rng=2, size=200_000)
+        assert abs(float(np.mean(arr))) < 0.02
+
+
+class TestLaplaceMechanism:
+    def test_randomize(self):
+        mech = LaplaceMechanism(1.0)
+        assert mech.randomize(10.0, 0.5, rng=0) != 10.0
+
+    def test_randomize_array_shape(self):
+        mech = LaplaceMechanism(1.0)
+        out = mech.randomize_array(np.zeros((5, 5)), 0.5, rng=0)
+        assert out.shape == (5, 5)
+
+    def test_sensitivity_validated(self):
+        with pytest.raises(ValidationError):
+            LaplaceMechanism(0.0)
+
+    def test_scale_and_variance(self):
+        mech = LaplaceMechanism(2.0)
+        assert mech.scale(0.5) == 4.0
+        assert mech.variance(0.5) == pytest.approx(32.0)
+
+
+class TestGeometricMechanism:
+    def test_integer_valued(self):
+        noise = geometric_noise(1.0, 0.5, rng=0, size=1000)
+        assert np.allclose(noise, np.round(noise))
+
+    def test_scalar(self):
+        x = geometric_noise(1.0, 0.5, rng=0)
+        assert x == int(x)
+
+    def test_empirical_variance_matches_formula(self):
+        eps = 0.4
+        mech = GeometricMechanism(1.0)
+        noise = geometric_noise(1.0, eps, rng=3, size=300_000)
+        assert float(np.var(noise)) == pytest.approx(mech.variance(eps), rel=0.05)
+
+    def test_randomize_keeps_integers(self):
+        mech = GeometricMechanism(1.0)
+        out = mech.randomize(7.0, 0.5, rng=1)
+        assert out == int(out)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            geometric_noise(0.0, 0.5)
+        with pytest.raises(ValidationError):
+            geometric_noise(1.0, -0.5)
+        with pytest.raises(ValidationError):
+            GeometricMechanism(-1.0)
+
+
+class TestReportNoisyMin:
+    def test_returns_valid_index(self):
+        idx = report_noisy_min([3.0, 1.0, 2.0], 1.0, 10.0, rng=0)
+        assert 0 <= idx < 3
+
+    def test_prefers_smallest_at_high_epsilon(self):
+        hits = 0
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            if report_noisy_min([100.0, 0.0, 100.0], 1.0, 50.0, rng) == 1:
+                hits += 1
+        assert hits >= 95
+
+    def test_near_uniform_at_tiny_epsilon(self):
+        rng = np.random.default_rng(0)
+        counts = np.zeros(3)
+        for _ in range(600):
+            counts[report_noisy_min([5.0, 0.0, 5.0], 1.0, 1e-6, rng)] += 1
+        # With negligible budget the choice is noise-dominated.
+        assert counts.min() > 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            report_noisy_min([], 1.0, 1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            report_noisy_min(np.zeros((2, 2)), 1.0, 1.0)

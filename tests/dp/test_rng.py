@@ -1,0 +1,55 @@
+"""Tests for repro.dp.rng."""
+
+import numpy as np
+import pytest
+
+from repro.dp import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_numpy_int_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn(ensure_rng(0), 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_from_parent_seed(self):
+        a = spawn(ensure_rng(7), 3)[1].random()
+        b = spawn(ensure_rng(7), 3)[1].random()
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)

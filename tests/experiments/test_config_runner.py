@@ -1,0 +1,118 @@
+"""Tests for repro.experiments.config and repro.experiments.runner."""
+
+import pytest
+
+from repro.core import ValidationError
+from repro.experiments import (
+    ExperimentScale,
+    MethodSpec,
+    PAPER_SCALE,
+    TINY_SCALE,
+    aggregate_rows,
+    default_method_specs,
+    get_scale,
+    mean_mre,
+    run_methods,
+)
+from repro.queries import random_workload
+
+
+class TestScale:
+    def test_presets(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert get_scale("tiny") is TINY_SCALE
+        assert get_scale("TINY") is TINY_SCALE
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SCALE.n_points == 1_000_000
+        assert PAPER_SCALE.n_trajectories == 300_000
+        assert PAPER_SCALE.city_resolution == 1000
+        assert PAPER_SCALE.n_queries == 1000
+
+    def test_overrides(self):
+        s = TINY_SCALE.with_overrides(n_queries=7)
+        assert s.n_queries == 7
+        assert s.n_points == TINY_SCALE.n_points
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ExperimentScale("x", 0, 1, 1, 1, 1)
+
+
+class TestMethodSpec:
+    def test_plain_label(self):
+        assert MethodSpec.of("ebp").label == "ebp"
+
+    def test_kwargs_label(self):
+        spec = MethodSpec.of("daf_entropy", allocation="uniform")
+        assert spec.label == "daf_entropy(allocation=uniform)"
+        assert spec.as_kwargs() == {"allocation": "uniform"}
+
+    def test_default_specs(self):
+        specs = default_method_specs(["a", "b"])
+        assert [s.name for s in specs] == ["a", "b"]
+
+
+class TestRunner:
+    def test_rows_cross_product(self, small_2d, rng):
+        wls = [
+            random_workload(small_2d.shape, 10, rng, name="w1"),
+            random_workload(small_2d.shape, 10, rng, name="w2"),
+        ]
+        rows = run_methods(
+            small_2d,
+            default_method_specs(["identity", "uniform"]),
+            [0.5, 1.0],
+            wls,
+            n_trials=2,
+            rng=rng,
+        )
+        # 2 methods x 2 eps x 2 workloads x 2 trials
+        assert len(rows) == 16
+        assert all(r.sanitize_seconds >= 0 for r in rows)
+        assert all(r.n_partitions >= 1 for r in rows)
+
+    def test_extra_propagated(self, small_2d, rng):
+        rows = run_methods(
+            small_2d, default_method_specs(["uniform"]), [1.0],
+            [random_workload(small_2d.shape, 5, rng)],
+            rng=rng, extra={"city": "x"},
+        )
+        assert rows[0].as_dict()["city"] == "x"
+
+    def test_mean_mre(self, small_2d, rng):
+        rows = run_methods(
+            small_2d, default_method_specs(["identity"]), [1.0],
+            [random_workload(small_2d.shape, 5, rng)], n_trials=3, rng=rng,
+        )
+        assert mean_mre(rows) == pytest.approx(
+            sum(r.mre for r in rows) / 3
+        )
+
+    def test_mean_mre_empty(self):
+        with pytest.raises(ValueError):
+            mean_mre([])
+
+    def test_aggregate_rows_averages_trials(self, small_2d, rng):
+        rows = run_methods(
+            small_2d, default_method_specs(["identity"]), [1.0],
+            [random_workload(small_2d.shape, 5, rng)], n_trials=4, rng=rng,
+        )
+        agg = aggregate_rows(rows)
+        assert len(agg) == 1
+        assert agg[0]["n_trials"] == 4
+        assert agg[0]["mre"] == pytest.approx(mean_mre(rows))
+
+    def test_method_kwargs_in_label(self, small_2d, rng):
+        rows = run_methods(
+            small_2d,
+            [MethodSpec.of("daf_entropy", allocation="uniform")],
+            [1.0],
+            [random_workload(small_2d.shape, 5, rng)],
+            rng=rng,
+        )
+        assert rows[0].method == "daf_entropy(allocation=uniform)"

@@ -1,0 +1,117 @@
+"""Tests for the per-figure reproduction functions (micro scale).
+
+These verify the harness mechanics (row structure, panel rendering, method
+coverage); the benchmarks assert the paper's accuracy *shapes* at a larger
+scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_ARTIFACTS,
+    FigureResult,
+    TINY_SCALE,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table3,
+)
+
+MICRO = TINY_SCALE.with_overrides(
+    n_points=4000, n_trajectories=2000, city_resolution=32,
+    od_cell_budget=20_000, n_queries=30,
+)
+
+
+class TestFigure4:
+    def test_row_structure(self):
+        res = figure4(MICRO, dims=(2,), epsilons=(0.5,),
+                      skew_fractions=(0.1,), methods=("identity", "ebp"))
+        assert res.figure_id == "figure4"
+        assert len(res.rows) == 2
+        row = res.rows[0]
+        assert {"method", "epsilon", "d", "skew_fraction", "mre"} <= set(row)
+
+    def test_all_combinations_present(self):
+        res = figure4(MICRO, dims=(2, 4), epsilons=(0.1, 0.5),
+                      skew_fractions=(0.1,), methods=("uniform",))
+        assert len(res.rows) == 4
+
+    def test_panel_rendering(self):
+        res = figure4(MICRO, dims=(2,), epsilons=(0.5,),
+                      skew_fractions=(0.1, 0.25), methods=("uniform",))
+        text = res.panel("skew_fraction", "method", d=2, epsilon=0.5)
+        assert "figure4" in text
+        assert "uniform" in text
+
+
+class TestFigure5:
+    def test_row_structure(self):
+        res = figure5(MICRO, dims=(2,), a_values=(2.0,),
+                      methods=("identity", "ebp"))
+        assert len(res.rows) == 2
+        assert res.rows[0]["zipf_a"] == 2.0
+        assert res.rows[0]["epsilon"] == 0.1
+
+
+class TestFigure6And7:
+    def test_figure6_includes_baselines(self):
+        res = figure6(MICRO, cities=("denver",), epsilons=(0.5,),
+                      methods=("identity", "mkm", "ebp"))
+        methods = {r["method"] for r in res.rows}
+        assert "identity" in methods and "mkm" in methods
+
+    def test_figure6_workloads(self):
+        res = figure6(MICRO, cities=("denver",), epsilons=(0.5,),
+                      methods=("uniform",))
+        workloads = {r["workload"] for r in res.rows}
+        assert workloads == {"random", "1%", "5%", "10%"}
+
+    def test_figure7_excludes_baselines(self):
+        res = figure7(MICRO, cities=("denver",), epsilons=(0.5,))
+        methods = {r["method"] for r in res.rows}
+        assert "identity" not in methods
+        assert "mkm" not in methods
+        assert res.figure_id == "figure7"
+
+
+class TestFigure8:
+    def test_od_4d(self):
+        res = figure8(MICRO, cities=("denver",), epsilons=(0.5,),
+                      methods=("ebp",), n_stops=0)
+        assert len(res.rows) == 4  # 4 workloads
+        shape = res.rows[0]["od_shape"]
+        assert shape.count("x") == 3  # 4-D
+
+    def test_od_6d_with_stop(self):
+        res = figure8(MICRO, cities=("denver",), epsilons=(0.5,),
+                      methods=("ebp",), n_stops=1)
+        assert res.rows[0]["od_shape"].count("x") == 5  # 6-D
+
+
+class TestTable3:
+    def test_runtime_rows(self):
+        res = table3(MICRO, cities=("denver", "detroit"),
+                     methods=("identity", "daf_entropy"))
+        assert len(res.rows) == 4
+        assert all(r["sanitize_seconds"] >= 0 for r in res.rows)
+
+
+class TestFigureResult:
+    def test_filtered(self):
+        res = FigureResult("f", "d", rows=[
+            {"a": 1, "mre": 2.0}, {"a": 2, "mre": 3.0}
+        ])
+        assert res.filtered(a=1) == [{"a": 1, "mre": 2.0}]
+
+    def test_to_text(self):
+        res = FigureResult("f", "desc", rows=[{"a": 1, "mre": 2.0}])
+        text = res.to_text()
+        assert "desc" in text and "mre" in text
+
+    def test_artifact_registry_complete(self):
+        assert set(ALL_ARTIFACTS) == {
+            "figure4", "figure5", "figure6", "figure7", "figure8", "table3"
+        }

@@ -1,0 +1,79 @@
+"""Tests for repro.experiments.persistence."""
+
+import pytest
+
+from repro.core import ValidationError
+from repro.experiments import FigureResult
+from repro.experiments.persistence import (
+    load_result_json,
+    load_rows_csv,
+    results_to_markdown,
+    save_result_json,
+    save_rows_csv,
+)
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        "figure4", "demo", rows=[
+            {"method": "ebp", "epsilon": 0.1, "mre": 12.5},
+            {"method": "identity", "epsilon": 0.1, "mre": 99.0},
+        ],
+    )
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_result_json(result, path)
+        back = load_result_json(path)
+        assert back.figure_id == "figure4"
+        assert back.rows == result.rows
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_result_json(tmp_path / "nope.json")
+
+    def test_load_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(ValidationError):
+            load_result_json(path)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_with_numbers(self, result, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv(result.rows, path)
+        back = load_rows_csv(path)
+        assert back[0]["method"] == "ebp"
+        assert back[0]["mre"] == 12.5
+        assert back[1]["epsilon"] == 0.1
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1.0}, {"b": 2.0}]
+        path = tmp_path / "rows.csv"
+        save_rows_csv(rows, path)
+        back = load_rows_csv(path)
+        assert set(back[0]) == {"a", "b"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_rows_csv([], tmp_path / "x.csv")
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_rows_csv(tmp_path / "missing.csv")
+
+
+class TestMarkdown:
+    def test_render(self, result):
+        md = results_to_markdown({"figure4": result})
+        assert "### figure4" in md
+        assert "| method |" in md
+        assert "12.50" in md
+
+    def test_empty_result(self):
+        md = results_to_markdown({"x": FigureResult("x", "empty")})
+        assert "(no rows)" in md

@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.reporting."""
+
+from repro.experiments import format_table, pivot, summarize_winner
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.500" in text
+        assert "10" in text
+
+    def test_title(self):
+        text = format_table([{"a": 1}], ["a"], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], ["a"])
+
+    def test_missing_column_blank(self):
+        text = format_table([{"a": 1}], ["a", "zzz"])
+        assert "zzz" in text
+
+    def test_custom_floatfmt(self):
+        text = format_table([{"x": 3.14159}], ["x"], floatfmt="{:.1f}")
+        assert "3.1" in text
+
+
+class TestPivot:
+    def test_panel_shape(self):
+        rows = [
+            {"eps": 0.1, "method": "a", "mre": 1.0},
+            {"eps": 0.1, "method": "b", "mre": 2.0},
+            {"eps": 0.5, "method": "a", "mre": 0.5},
+            {"eps": 0.5, "method": "b", "mre": 0.7},
+        ]
+        text = pivot(rows, "eps", "method")
+        lines = text.splitlines()
+        assert lines[0].split() == ["eps", "a", "b"]
+        assert len(lines) == 4  # header + sep + 2 data rows
+
+    def test_missing_cell_blank(self):
+        rows = [
+            {"eps": 0.1, "method": "a", "mre": 1.0},
+            {"eps": 0.5, "method": "b", "mre": 2.0},
+        ]
+        text = pivot(rows, "eps", "method")
+        assert "a" in text and "b" in text
+
+
+class TestSummarizeWinner:
+    def test_winner_per_group(self):
+        rows = [
+            {"city": "x", "method": "a", "mre": 5.0},
+            {"city": "x", "method": "b", "mre": 1.0},
+            {"city": "y", "method": "a", "mre": 0.5},
+            {"city": "y", "method": "b", "mre": 2.0},
+        ]
+        winners = summarize_winner(rows, ["city"])
+        by_city = {w["city"]: w["winner"] for w in winners}
+        assert by_city == {"x": "b", "y": "a"}

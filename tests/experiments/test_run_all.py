@@ -1,0 +1,50 @@
+"""Tests for run_all and cross-artifact consistency at micro scale."""
+
+import pytest
+
+from repro.experiments import TINY_SCALE, run_all
+
+MICRO = TINY_SCALE.with_overrides(
+    n_points=3000, n_trajectories=1500, city_resolution=24,
+    od_cell_budget=15_000, n_queries=20,
+)
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return run_all(scale=MICRO, rng=7)
+
+
+class TestRunAll:
+    def test_every_artifact_present(self, all_results):
+        assert set(all_results) == {
+            "figure4", "figure5", "figure6", "figure7", "figure8", "table3"
+        }
+
+    def test_every_artifact_has_rows(self, all_results):
+        for name, result in all_results.items():
+            assert result.rows, f"{name} produced no rows"
+
+    def test_figure_ids_match_keys(self, all_results):
+        for name, result in all_results.items():
+            assert result.figure_id == name
+
+    def test_all_mres_finite_nonnegative(self, all_results):
+        import math
+        for name, result in all_results.items():
+            for row in result.rows:
+                mre = row.get("mre")
+                if mre is not None:
+                    assert math.isfinite(mre) and mre >= 0, (name, row)
+
+    def test_runtime_rows_have_timings(self, all_results):
+        for row in all_results["table3"].rows:
+            assert row["sanitize_seconds"] >= 0
+
+    def test_deterministic_given_seed(self):
+        a = run_all(scale=MICRO, rng=7)
+        b = run_all(scale=MICRO, rng=7)
+        for name in a:
+            mres_a = [r["mre"] for r in a[name].rows]
+            mres_b = [r["mre"] for r in b[name].rows]
+            assert mres_a == mres_b, name

@@ -1,0 +1,78 @@
+"""Tests for the Adaptive Grid (AG) extension method."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import AdaptiveGrid
+
+
+class TestAdaptiveGrid:
+    def test_partitions_tile(self, skewed_2d):
+        private = AdaptiveGrid().sanitize(skewed_2d, 1.0, rng=0)
+        covered = sum(p.n_cells for p in private.partitions)
+        assert covered == skewed_2d.n_cells
+
+    def test_metadata(self, skewed_2d):
+        private = AdaptiveGrid().sanitize(skewed_2d, 1.0, rng=0)
+        meta = private.metadata
+        assert meta["m1"] >= 1
+        assert meta["n_level1_cells"] >= 1
+        assert meta["n_partitions"] >= meta["n_level1_cells"] - meta["n_refined"]
+
+    def test_budget_respected(self, skewed_2d):
+        private = AdaptiveGrid().sanitize(skewed_2d, 0.4, rng=0)
+        assert private.metadata["budget_summary"]["<total>"] <= 0.4 + 1e-9
+
+    def test_refinement_follows_density(self, rng):
+        """Dense regions should get finer level-2 partitions."""
+        data = np.zeros((64, 64))
+        data[:16, :16] = rng.poisson(80.0, size=(16, 16))
+        fm = FrequencyMatrix(data)
+        private = AdaptiveGrid().sanitize(fm, 2.0, rng=1)
+        dense_parts = [
+            p for p in private.partitions
+            if p.box[0][1] < 16 and p.box[1][1] < 16
+        ]
+        sparse_parts = [
+            p for p in private.partitions
+            if p.box[0][0] >= 32 and p.box[1][0] >= 32
+        ]
+        mean_dense = np.mean([p.n_cells for p in dense_parts])
+        mean_sparse = np.mean([p.n_cells for p in sparse_parts])
+        assert mean_dense < mean_sparse
+
+    def test_min_refine_count_blocks_refinement(self, skewed_2d):
+        private = AdaptiveGrid(min_refine_count=1e12).sanitize(
+            skewed_2d, 1.0, rng=0
+        )
+        assert private.metadata["n_refined"] == 0
+
+    def test_total_roughly_preserved(self, skewed_2d):
+        private = AdaptiveGrid().sanitize(skewed_2d, 10.0, rng=0)
+        assert private.answer(full_box(skewed_2d.shape)) == pytest.approx(
+            skewed_2d.total, rel=0.15
+        )
+
+    def test_works_on_4d(self, small_4d):
+        private = AdaptiveGrid().sanitize(small_4d, 1.0, rng=0)
+        assert private.shape == small_4d.shape
+
+    def test_parameter_validation(self):
+        with pytest.raises(MethodError):
+            AdaptiveGrid(alpha=0.0)
+        with pytest.raises(MethodError):
+            AdaptiveGrid(alpha=1.0)
+        with pytest.raises(MethodError):
+            AdaptiveGrid(eps0_fraction=1.5)
+        with pytest.raises(MethodError):
+            AdaptiveGrid(c0=-1.0)
+
+    def test_describe(self):
+        desc = AdaptiveGrid(alpha=0.4).describe()
+        assert desc["alpha"] == 0.4
+        assert desc["name"] == "ag"
+
+    def test_registered(self, skewed_2d):
+        from repro.methods import get_sanitizer
+        assert get_sanitizer("ag").name == "ag"

@@ -1,0 +1,120 @@
+"""Tests for the Sanitizer interface and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, ValidationError
+from repro.methods import (
+    EXTENSION_METHODS,
+    PAPER_METHODS,
+    Sanitizer,
+    available_methods,
+    get_sanitizer,
+    register,
+)
+from repro.methods.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_paper_methods_registered(self):
+        for name in PAPER_METHODS:
+            assert get_sanitizer(name).name == name
+
+    def test_extension_methods_registered(self):
+        for name in EXTENSION_METHODS:
+            assert get_sanitizer(name).name == name
+
+    def test_available_methods_order(self):
+        methods = available_methods()
+        assert methods[: len(PAPER_METHODS)] == PAPER_METHODS
+
+    def test_unknown_method(self):
+        with pytest.raises(MethodError):
+            get_sanitizer("nope")
+
+    def test_case_insensitive(self):
+        assert get_sanitizer("EBP").name == "ebp"
+
+    def test_kwargs_forwarded(self):
+        s = get_sanitizer("eug", eps0_fraction=0.05)
+        assert s.eps0_fraction == 0.05
+
+    def test_register_custom(self):
+        class Custom(Sanitizer):
+            name = "custom_test_method"
+
+            def _sanitize(self, matrix, ledger, rng):
+                raise NotImplementedError
+
+        register("custom_test_method", Custom)
+        try:
+            assert isinstance(get_sanitizer("custom_test_method"), Custom)
+            with pytest.raises(MethodError):
+                register("custom_test_method", Custom)
+        finally:
+            _REGISTRY.pop("custom_test_method", None)
+
+
+class TestSanitizeContract:
+    @pytest.mark.parametrize("name", PAPER_METHODS + EXTENSION_METHODS)
+    def test_returns_correct_shape(self, name, small_2d):
+        private = get_sanitizer(name).sanitize(small_2d, 1.0, rng=0)
+        assert private.shape == small_2d.shape
+
+    @pytest.mark.parametrize("name", PAPER_METHODS + EXTENSION_METHODS)
+    def test_input_not_mutated(self, name, small_2d):
+        before = small_2d.data.copy()
+        get_sanitizer(name).sanitize(small_2d, 1.0, rng=0)
+        assert np.array_equal(small_2d.data, before)
+
+    @pytest.mark.parametrize("name", PAPER_METHODS + EXTENSION_METHODS)
+    def test_reproducible_by_seed(self, name, small_2d):
+        box = ((1, 9), (2, 12))
+        a = get_sanitizer(name).sanitize(small_2d, 0.5, rng=99).answer(box)
+        b = get_sanitizer(name).sanitize(small_2d, 0.5, rng=99).answer(box)
+        assert a == b
+
+    @pytest.mark.parametrize("name", PAPER_METHODS + EXTENSION_METHODS)
+    def test_budget_summary_in_metadata(self, name, small_2d):
+        private = get_sanitizer(name).sanitize(small_2d, 0.7, rng=0)
+        summary = private.metadata["budget_summary"]
+        assert summary["<total>"] <= 0.7 + 1e-9
+
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_works_on_1d(self, name, tiny_1d):
+        private = get_sanitizer(name).sanitize(tiny_1d, 1.0, rng=0)
+        assert private.shape == tiny_1d.shape
+
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_works_on_4d(self, name, small_4d):
+        private = get_sanitizer(name).sanitize(small_4d, 1.0, rng=0)
+        assert private.shape == small_4d.shape
+
+    def test_rejects_nonpositive_epsilon(self, small_2d):
+        with pytest.raises(ValidationError):
+            get_sanitizer("identity").sanitize(small_2d, 0.0)
+        with pytest.raises(ValidationError):
+            get_sanitizer("identity").sanitize(small_2d, -0.5)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValidationError):
+            get_sanitizer("identity").sanitize(np.zeros((3, 3)), 1.0)
+
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_total_estimate_reasonable(self, name, skewed_2d):
+        """With a generous budget the full-matrix answer should be close
+        to the true total (all noise, no uniformity error)."""
+        private = get_sanitizer(name).sanitize(skewed_2d, 5.0, rng=1)
+        full = tuple((0, s - 1) for s in skewed_2d.shape)
+        assert private.answer(full) == pytest.approx(
+            skewed_2d.total, rel=0.2
+        )
+
+    def test_describe_contains_name(self):
+        for name in available_methods():
+            assert get_sanitizer(name).describe()["name"] == name
+
+    def test_repr_does_not_crash(self):
+        for name in available_methods():
+            text = repr(get_sanitizer(name))
+            assert isinstance(text, str) and text

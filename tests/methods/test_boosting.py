@@ -1,0 +1,138 @@
+"""Tests for DAF hierarchical consistency boosting."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import DAFEntropy, DAFHomogeneity, NeverStop
+from repro.methods.daf.boosting import apply_boosting, boost_tree_consistency
+from repro.methods.daf.node import DAFNode
+
+
+def make_manual_tree():
+    """Root with two children; all estimates carry explicit variances."""
+    root = DAFNode(box=((0, 3),), depth=0, count=10.0,
+                   ncount=9.0, eps_spent=0.5, ncount_variance=8.0)
+    left = DAFNode(box=((0, 1),), depth=1, count=6.0,
+                   ncount=7.5, eps_spent=0.5, ncount_variance=8.0)
+    right = DAFNode(box=((2, 3),), depth=1, count=4.0,
+                    ncount=3.0, eps_spent=0.5, ncount_variance=8.0)
+    root.children = [left, right]
+    root.split_axis = 0
+    root.fanout = 2
+    return root, left, right
+
+
+class TestBoostTreeConsistency:
+    def test_children_sum_to_parent(self):
+        root, left, right = make_manual_tree()
+        final = boost_tree_consistency(root)
+        assert final[id(left)] + final[id(right)] == pytest.approx(
+            final[id(root)]
+        )
+
+    def test_equal_variances_split_residual_equally(self):
+        root, left, right = make_manual_tree()
+        final = boost_tree_consistency(root)
+        # Upward: combined root = mean of own (9) and child sum (10.5),
+        # with child-sum variance 16 vs own 8 -> weights 2:1.
+        expected_root = (9.0 / 8.0 + 10.5 / 16.0) / (1.0 / 8.0 + 1.0 / 16.0)
+        assert final[id(root)] == pytest.approx(expected_root)
+        residual = expected_root - 10.5
+        assert final[id(left)] == pytest.approx(7.5 + residual / 2)
+        assert final[id(right)] == pytest.approx(3.0 + residual / 2)
+
+    def test_leaf_only_tree(self):
+        leaf = DAFNode(box=((0, 3),), depth=0, count=5.0, ncount=4.2,
+                       eps_spent=0.5, ncount_variance=8.0)
+        final = boost_tree_consistency(leaf)
+        assert final[id(leaf)] == 4.2
+
+    def test_rejects_zero_budget_node(self):
+        root, left, _ = make_manual_tree()
+        left.eps_spent = 0.0
+        with pytest.raises(MethodError):
+            boost_tree_consistency(root)
+
+    def test_apply_boosting_overwrites_ncounts(self):
+        root, left, right = make_manual_tree()
+        n = apply_boosting(root)
+        assert n == 3
+        assert left.ncount + right.ncount == pytest.approx(root.ncount)
+
+
+class TestBoostedDAF:
+    def test_flag_in_describe(self):
+        assert DAFEntropy(tree_consistency=True).describe()["tree_consistency"]
+
+    def test_variances_tracked_on_all_nodes(self, skewed_2d):
+        method = DAFEntropy()
+        method.sanitize(skewed_2d, 0.5, rng=0)
+        for node in method.tree_.iter_nodes():
+            assert node.ncount_variance > 0
+
+    def test_homogeneity_variance_excludes_split_budget(self, skewed_2d):
+        """With q = 0.3 the data estimate uses (1-q) of the node budget,
+        so its variance must exceed the naive 2/eps_node^2."""
+        method = DAFHomogeneity(q=0.3, stop_condition=NeverStop())
+        method.sanitize(skewed_2d, 0.5, rng=0)
+        internal = [
+            n for n in method.tree_.iter_nodes()
+            if 0 < n.depth < 2 and not n.stopped_early
+        ]
+        assert internal
+        for node in internal:
+            naive = 2.0 / node.eps_spent**2
+            assert node.ncount_variance > naive * 1.5
+
+    def test_boosted_tree_is_consistent(self, skewed_2d):
+        method = DAFEntropy(tree_consistency=True)
+        method.sanitize(skewed_2d, 0.5, rng=0)
+        for node in method.tree_.iter_nodes():
+            if node.children:
+                child_sum = sum(c.ncount for c in node.children)
+                assert child_sum == pytest.approx(node.ncount, rel=1e-9, abs=1e-9)
+
+    def test_boosting_improves_total_estimate(self, skewed_2d):
+        """The root total combines every level's information: its error
+        must shrink on average versus leaves-only publication."""
+        fb = full_box(skewed_2d.shape)
+        plain_err, boosted_err = [], []
+        for seed in range(25):
+            plain = DAFEntropy(tree_consistency=False).sanitize(
+                skewed_2d, 0.2, np.random.default_rng(seed)
+            )
+            boosted = DAFEntropy(tree_consistency=True).sanitize(
+                skewed_2d, 0.2, np.random.default_rng(seed)
+            )
+            plain_err.append(abs(plain.answer(fb) - skewed_2d.total))
+            boosted_err.append(abs(boosted.answer(fb) - skewed_2d.total))
+        assert np.mean(boosted_err) < np.mean(plain_err)
+
+    def test_boosting_does_not_hurt_random_workload(self, skewed_2d, rng):
+        from repro.queries import WorkloadEvaluator, random_workload
+        evaluator = WorkloadEvaluator(skewed_2d)
+        workload = random_workload(skewed_2d.shape, 150, rng)
+        plain = np.mean([
+            evaluator.evaluate(
+                DAFEntropy().sanitize(skewed_2d, 0.2, np.random.default_rng(s)),
+                workload,
+            ).mre
+            for s in range(8)
+        ])
+        boosted = np.mean([
+            evaluator.evaluate(
+                DAFEntropy(tree_consistency=True).sanitize(
+                    skewed_2d, 0.2, np.random.default_rng(s)
+                ),
+                workload,
+            ).mre
+            for s in range(8)
+        ])
+        assert boosted <= plain * 1.25
+
+    def test_budget_unchanged_by_boosting(self, skewed_2d):
+        private = DAFEntropy(tree_consistency=True).sanitize(
+            skewed_2d, 0.4, rng=3
+        )
+        assert private.metadata["budget_summary"]["<total>"] <= 0.4 + 1e-9

@@ -1,0 +1,111 @@
+"""Edge-case battery: every method against degenerate inputs.
+
+Failure injection for the method layer: empty matrices, single cells,
+extreme budgets, extreme aspect ratios.  A sanitizer must never crash,
+never overspend, and always return a complete partitioning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, full_box
+from repro.methods import available_methods, get_sanitizer
+
+ALL = available_methods()
+
+
+def assert_valid_output(private, matrix):
+    assert private.shape == matrix.shape
+    assert private.metadata["budget_summary"]["<total>"] <= private.epsilon + 1e-9
+    if not private.is_dense_backed:
+        covered = sum(p.n_cells for p in private.partitions)
+        assert covered == matrix.n_cells
+
+
+class TestZeroMatrix:
+    @pytest.mark.parametrize("name", ALL)
+    def test_all_methods(self, name):
+        fm = FrequencyMatrix.zeros((9, 7))
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        assert_valid_output(private, fm)
+        # Answer should be pure noise: bounded well away from huge values.
+        assert abs(private.answer(full_box(fm.shape))) < 1e5
+
+
+class TestSingleCell:
+    @pytest.mark.parametrize("name", ALL)
+    def test_all_methods(self, name):
+        fm = FrequencyMatrix(np.array([[42.0]]))
+        private = get_sanitizer(name).sanitize(fm, 1.0, rng=0)
+        assert_valid_output(private, fm)
+        assert private.answer(((0, 0), (0, 0))) == pytest.approx(42.0, abs=30.0)
+
+
+class TestSingleRow:
+    @pytest.mark.parametrize("name", ALL)
+    def test_1xN(self, name, rng):
+        fm = FrequencyMatrix(rng.poisson(4.0, size=(1, 50)).astype(float))
+        private = get_sanitizer(name).sanitize(fm, 1.0, rng=0)
+        assert_valid_output(private, fm)
+
+    @pytest.mark.parametrize("name", ["ebp", "daf_entropy", "daf_homogeneity"])
+    def test_Nx1(self, name, rng):
+        fm = FrequencyMatrix(rng.poisson(4.0, size=(50, 1)).astype(float))
+        private = get_sanitizer(name).sanitize(fm, 1.0, rng=0)
+        assert_valid_output(private, fm)
+
+
+class TestExtremeBudgets:
+    @pytest.mark.parametrize("name", ALL)
+    def test_tiny_epsilon(self, name, small_2d):
+        private = get_sanitizer(name).sanitize(small_2d, 1e-4, rng=0)
+        assert_valid_output(private, small_2d)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_huge_epsilon(self, name, small_2d):
+        private = get_sanitizer(name).sanitize(small_2d, 1e4, rng=0)
+        assert_valid_output(private, small_2d)
+        # Near-zero noise: the full count should be almost exact.
+        assert private.answer(full_box(small_2d.shape)) == pytest.approx(
+            small_2d.total, rel=0.05
+        )
+
+
+class TestExtremeAspect:
+    @pytest.mark.parametrize("name", ["ebp", "eug", "daf_entropy",
+                                      "daf_homogeneity", "ag"])
+    def test_long_thin_matrix(self, name, rng):
+        fm = FrequencyMatrix(rng.poisson(2.0, size=(200, 2)).astype(float))
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        assert_valid_output(private, fm)
+
+
+class TestHighDimensionTiny:
+    @pytest.mark.parametrize("name", ["identity", "ebp", "daf_entropy",
+                                      "daf_homogeneity"])
+    def test_2_per_dim_6d(self, name, rng):
+        fm = FrequencyMatrix(
+            rng.poisson(1.0, size=(2, 2, 2, 2, 2, 2)).astype(float)
+        )
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        assert_valid_output(private, fm)
+
+
+class TestDeterministicPayload:
+    @pytest.mark.parametrize("name", ALL)
+    def test_same_seed_same_payload(self, name, small_2d):
+        a = get_sanitizer(name).sanitize(small_2d, 0.5, rng=77).to_publishable()
+        b = get_sanitizer(name).sanitize(small_2d, 0.5, rng=77).to_publishable()
+        assert a == b
+
+
+class TestMassiveCountCell:
+    @pytest.mark.parametrize("name", ["ebp", "daf_entropy", "mkm"])
+    def test_one_giant_cell(self, name):
+        """A single cell holding 10^9 counts must not break granularity
+        formulas (m saturates at the dimension size)."""
+        data = np.zeros((16, 16))
+        data[3, 3] = 1e9
+        fm = FrequencyMatrix(data)
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        assert_valid_output(private, fm)

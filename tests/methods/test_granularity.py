@@ -1,0 +1,143 @@
+"""Tests for repro.methods.granularity (paper Eq. 8, 9, 13, 19)."""
+
+import math
+
+import pytest
+
+from repro.core import MethodError
+from repro.methods import (
+    DEFAULT_C0,
+    clamp_granularity,
+    ebp_granularity,
+    eug_granularity,
+    mkm_granularity,
+)
+
+
+class TestEUGGranularity:
+    def test_2d_base_case_matches_eq9(self):
+        # Eq. 9: m = sqrt(N eps / (sqrt 2 c0)); with c0 = 10/sqrt 2 this is
+        # sqrt(N eps / 10), the original UG formula.
+        n, eps = 1_000_000, 0.1
+        m = eug_granularity(n, eps, 2)
+        assert m == pytest.approx(math.sqrt(n * eps / 10.0))
+
+    def test_1d_uses_base_case(self):
+        assert eug_granularity(1e6, 0.1, 1) == eug_granularity(1e6, 0.1, 2)
+
+    def test_eq13_reduces_to_eq9_at_d2_via_generic_formula(self):
+        # Evaluating the generic Eq. 13 machinery at d=2 analytically:
+        # prefactor 2(d-1)/d = 1, exponent 1/2, integration factor 1.
+        n, eps = 5e5, 0.3
+        d = 2.0
+        base = (2 * (d - 1) / d) * n * eps / (math.sqrt(2) * DEFAULT_C0)
+        alpha = base ** (2 / (3 * d - 2))
+        factor = d * (3 * d - 2) / (3 * d * d - 3 * d + 2)
+        assert eug_granularity(n, eps, 2) == pytest.approx(alpha * factor)
+
+    def test_known_query_ratio_uses_eq8(self):
+        n, eps, d, r = 1e6, 0.1, 4, 0.5
+        base = (2 * (d - 1) / d) * n * eps / (math.sqrt(2) * DEFAULT_C0)
+        expected = (base * r ** (1 / d - 0.5)) ** (2 / (3 * d - 2))
+        assert eug_granularity(n, eps, d, query_ratio=r) == pytest.approx(expected)
+
+    def test_integrated_form_at_d4(self):
+        n, eps, d = 1e6, 0.1, 4
+        base = (2 * (d - 1) / d) * n * eps / (math.sqrt(2) * DEFAULT_C0)
+        alpha = base ** (2 / (3 * d - 2))
+        factor = d * (3 * d - 2) / (3 * d * d - 3 * d + 2)
+        assert eug_granularity(n, eps, d) == pytest.approx(alpha * factor)
+
+    def test_monotone_in_n(self):
+        assert eug_granularity(1e6, 0.1, 3) > eug_granularity(1e4, 0.1, 3)
+
+    def test_monotone_in_epsilon(self):
+        assert eug_granularity(1e6, 0.5, 3) > eug_granularity(1e6, 0.1, 3)
+
+    def test_decreases_with_dimensionality(self):
+        # Higher d means coarser per-dimension granularity.
+        assert eug_granularity(1e6, 0.1, 2) > eug_granularity(1e6, 0.1, 6)
+
+    def test_negative_noisy_total_clamped(self):
+        assert eug_granularity(-500.0, 0.1, 2) == eug_granularity(1.0, 0.1, 2)
+
+    def test_validation(self):
+        with pytest.raises(MethodError):
+            eug_granularity(1e6, 0.0, 2)
+        with pytest.raises(MethodError):
+            eug_granularity(1e6, 0.1, 0)
+        with pytest.raises(MethodError):
+            eug_granularity(1e6, 0.1, 4, query_ratio=0.0)
+        with pytest.raises(MethodError):
+            eug_granularity(1e6, 0.1, 2, c0=0.0)
+        with pytest.raises(MethodError):
+            eug_granularity(float("nan"), 0.1, 2)
+
+
+class TestEBPGranularity:
+    def test_matches_eq19(self):
+        n, eps, d = 1_000_000, 0.1, 2
+        expected = (n * eps / math.sqrt(2)) ** (2 / (3 * d))
+        assert ebp_granularity(n, eps, d) == pytest.approx(expected)
+
+    def test_high_dimensional(self):
+        n, eps, d = 1_000_000, 0.1, 6
+        expected = (n * eps / math.sqrt(2)) ** (1 / 9)
+        assert ebp_granularity(n, eps, d) == pytest.approx(expected)
+
+    def test_floors_at_one(self):
+        assert ebp_granularity(1.0, 0.01, 2) == 1.0
+
+    def test_monotone_in_n_and_eps(self):
+        assert ebp_granularity(1e6, 0.1, 2) > ebp_granularity(1e5, 0.1, 2)
+        assert ebp_granularity(1e6, 0.5, 2) > ebp_granularity(1e6, 0.1, 2)
+
+    def test_validation(self):
+        with pytest.raises(MethodError):
+            ebp_granularity(1e6, -0.1, 2)
+        with pytest.raises(MethodError):
+            ebp_granularity(1e6, 0.1, 0)
+
+
+class TestMKMGranularity:
+    def test_formula(self):
+        assert mkm_granularity(1e6, 2) == pytest.approx(1e6 ** 0.5)
+
+    def test_epsilon_independent_saturation(self):
+        # On the paper's city data (N = 10^6, 1000x1000) MKM hits the
+        # matrix's maximum granularity: m = 1000 = the full resolution.
+        assert mkm_granularity(1_000_000, 2) == pytest.approx(1000.0)
+
+    def test_dimensionality_dependence(self):
+        assert mkm_granularity(1e6, 4) == pytest.approx(1e6 ** (1 / 3))
+
+    def test_clamps_negative(self):
+        assert mkm_granularity(-100.0, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(MethodError):
+            mkm_granularity(float("inf"), 2)
+        with pytest.raises(MethodError):
+            mkm_granularity(1e6, 0)
+
+
+class TestClampGranularity:
+    def test_rounds(self):
+        assert clamp_granularity(3.6, 10) == 4
+        assert clamp_granularity(3.4, 10) == 3
+
+    def test_clamps_low(self):
+        assert clamp_granularity(0.2, 10) == 1
+
+    def test_clamps_high(self):
+        assert clamp_granularity(99.0, 10) == 10
+
+    def test_custom_minimum(self):
+        assert clamp_granularity(0.2, 10, minimum=2) == 2
+
+    def test_infinite_saturates(self):
+        assert clamp_granularity(float("inf"), 7) == 7
+
+    def test_validates_dim_size(self):
+        with pytest.raises(MethodError):
+            clamp_granularity(2.0, 0)

@@ -1,0 +1,178 @@
+"""Tests for EUG, EBP, MKM and the shared uniform-grid machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import EBP, EUG, MKM
+from repro.methods._grid import (
+    DENSE_OUTPUT_THRESHOLD,
+    aggregate_uniform_grid,
+    axis_cut_starts,
+    sanitize_uniform_grid,
+)
+from repro.dp import BudgetLedger
+
+
+class TestAxisCutStarts:
+    def test_exact_division(self):
+        assert list(axis_cut_starts(8, 4)) == [0, 2, 4, 6]
+
+    def test_uneven(self):
+        starts = list(axis_cut_starts(5, 2))
+        assert starts == [0, 2]
+
+    def test_m_over_size_clamps(self):
+        assert list(axis_cut_starts(3, 99)) == [0, 1, 2]
+
+    def test_m_one(self):
+        assert list(axis_cut_starts(7, 1)) == [0]
+
+
+class TestAggregateUniformGrid:
+    def test_preserves_total(self, small_2d):
+        agg = aggregate_uniform_grid(small_2d.data, (3, 5))
+        assert agg.sum() == pytest.approx(small_2d.total)
+        assert agg.shape == (3, 5)
+
+    def test_matches_manual_blocks(self):
+        data = np.arange(16, dtype=float).reshape(4, 4)
+        agg = aggregate_uniform_grid(data, (2, 2))
+        assert agg[0, 0] == data[:2, :2].sum()
+        assert agg[1, 1] == data[2:, 2:].sum()
+
+    def test_identity_when_m_equals_size(self, small_2d):
+        agg = aggregate_uniform_grid(small_2d.data, small_2d.shape)
+        assert np.array_equal(agg, small_2d.data)
+
+
+class TestSanitizeUniformGrid:
+    def test_partition_backed_below_threshold(self, small_2d):
+        ledger = BudgetLedger(1.0)
+        private = sanitize_uniform_grid(
+            small_2d, 4, 1.0, ledger, np.random.default_rng(0), method="x"
+        )
+        assert not private.is_dense_backed
+        assert private.n_partitions == 16
+
+    def test_dense_backed_above_threshold(self, rng):
+        fm = FrequencyMatrix(rng.poisson(1.0, size=(400, 400)).astype(float))
+        ledger = BudgetLedger(1.0)
+        private = sanitize_uniform_grid(
+            fm, 400, 1.0, ledger, np.random.default_rng(0), method="x"
+        )
+        assert 400 * 400 > DENSE_OUTPUT_THRESHOLD
+        assert private.is_dense_backed
+
+    def test_dense_expansion_matches_partitions(self, rng):
+        """The dense expansion and the partition list must answer alike."""
+        fm = FrequencyMatrix(rng.poisson(2.0, size=(10, 12)).astype(float))
+        ledger1 = BudgetLedger(1.0)
+        gen1 = np.random.default_rng(5)
+        part_backed = sanitize_uniform_grid(fm, 3, 1.0, ledger1, gen1, method="x")
+        from repro.methods._grid import _expand_grid_to_cells, aggregate_uniform_grid
+        # Re-derive the dense expansion from the partition answers.
+        dense = part_backed.dense_array()
+        box = ((2, 7), (1, 10))
+        direct = float(dense[2:8, 1:11].sum())
+        assert part_backed.answer(box) == pytest.approx(direct)
+
+
+class TestEUG:
+    def test_m_recorded_in_metadata(self, small_2d):
+        private = EUG().sanitize(small_2d, 1.0, rng=0)
+        assert private.metadata["m"] >= 1
+        assert "n_hat" in private.metadata
+
+    def test_eps0_fraction_validated(self):
+        with pytest.raises(MethodError):
+            EUG(eps0_fraction=0.0)
+        with pytest.raises(MethodError):
+            EUG(eps0_fraction=1.0)
+
+    def test_query_ratio_validated(self):
+        with pytest.raises(MethodError):
+            EUG(query_ratio=1.5)
+
+    def test_c0_validated(self):
+        with pytest.raises(MethodError):
+            EUG(c0=-1.0)
+
+    def test_granularity_grows_with_epsilon(self, skewed_2d):
+        m_low = EUG().sanitize(skewed_2d, 0.1, rng=0).metadata["m"]
+        m_high = EUG().sanitize(skewed_2d, 10.0, rng=0).metadata["m"]
+        assert m_high >= m_low
+
+    def test_partitions_tile_matrix(self, small_2d):
+        private = EUG().sanitize(small_2d, 1.0, rng=0)
+        covered = sum(p.n_cells for p in private.partitions)
+        assert covered == small_2d.n_cells
+
+
+class TestEBP:
+    def test_m_matches_formula_on_clean_estimate(self, skewed_2d):
+        private = EBP().sanitize(skewed_2d, 1.0, rng=0)
+        from repro.methods import clamp_granularity, ebp_granularity
+        n_hat = private.metadata["n_hat"]
+        eps_data = private.metadata["eps_data"]
+        expected = clamp_granularity(
+            ebp_granularity(n_hat, eps_data, 2), max(skewed_2d.shape)
+        )
+        assert private.metadata["m"] == expected
+
+    def test_no_arbitrary_constant(self):
+        # EBP's selling point: no c0 parameter exists.
+        assert not hasattr(EBP(), "c0")
+
+    def test_eps0_fraction_validated(self):
+        with pytest.raises(MethodError):
+            EBP(eps0_fraction=2.0)
+
+
+class TestMKM:
+    def test_epsilon_does_not_change_m(self, skewed_2d):
+        m1 = MKM().sanitize(skewed_2d, 0.1, rng=0).metadata["m"]
+        m2 = MKM().sanitize(skewed_2d, 0.5, rng=0).metadata["m"]
+        # m depends only on the noisy N; with N = 5000 the noise at
+        # eps0 = 1% of eps barely moves N^(1/2).
+        assert abs(m1 - m2) <= 1
+
+    def test_saturates_at_max_granularity(self, rng):
+        """The paper's observation: on dense data MKM reaches per-cell
+        granularity and behaves like IDENTITY."""
+        fm = FrequencyMatrix(rng.poisson(40.0, size=(20, 20)).astype(float))
+        private = MKM().sanitize(fm, 0.1, rng=0)
+        # N = 16000 -> m = sqrt(16000) = 126 > 20 -> clamped to 20.
+        assert private.metadata["m_per_dim"] == [20, 20]
+        assert private.n_partitions == 400
+
+    def test_eps0_fraction_validated(self):
+        with pytest.raises(MethodError):
+            MKM(eps0_fraction=-0.1)
+
+
+class TestGridAccuracyOrdering:
+    def test_adaptive_granularity_beats_identity_on_random_queries(
+        self, skewed_2d, rng
+    ):
+        """On skewed data at tight budgets, EBP should beat IDENTITY
+        (Figure 6's headline, shrunk)."""
+        from repro.methods import Identity
+        from repro.queries import WorkloadEvaluator, random_workload
+
+        evaluator = WorkloadEvaluator(skewed_2d)
+        workload = random_workload(skewed_2d.shape, 200, rng)
+        ebp_mre = np.mean([
+            evaluator.evaluate(
+                EBP().sanitize(skewed_2d, 0.1, np.random.default_rng(s)), workload
+            ).mre
+            for s in range(5)
+        ])
+        id_mre = np.mean([
+            evaluator.evaluate(
+                Identity().sanitize(skewed_2d, 0.1, np.random.default_rng(s)),
+                workload,
+            ).mre
+            for s in range(5)
+        ])
+        assert ebp_mre < id_mre

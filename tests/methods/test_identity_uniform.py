@@ -1,0 +1,81 @@
+"""Tests for the IDENTITY and UNIFORM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import Identity, Uniform
+
+
+class TestIdentity:
+    def test_dense_backed_output(self, small_2d):
+        private = Identity().sanitize(small_2d, 1.0, rng=0)
+        assert private.is_dense_backed
+        assert private.n_partitions == small_2d.n_cells
+
+    def test_unbiased_per_cell(self, small_2d):
+        # Averaging many runs should recover the data (noise is zero-mean).
+        acc = np.zeros(small_2d.shape)
+        runs = 200
+        rng = np.random.default_rng(0)
+        for _ in range(runs):
+            acc += Identity().sanitize(small_2d, 2.0, rng).dense_array()
+        assert np.allclose(acc / runs, small_2d.data, atol=0.5)
+
+    def test_noise_magnitude_scales_with_epsilon(self, small_2d):
+        rng = np.random.default_rng(0)
+        err_small = np.abs(
+            Identity().sanitize(small_2d, 0.1, rng).dense_array() - small_2d.data
+        ).mean()
+        err_large = np.abs(
+            Identity().sanitize(small_2d, 10.0, rng).dense_array() - small_2d.data
+        ).mean()
+        assert err_small > err_large * 5
+
+    def test_geometric_mechanism_integer_outputs(self, small_2d):
+        private = Identity(mechanism="geometric").sanitize(small_2d, 1.0, rng=0)
+        dense = private.dense_array()
+        assert np.allclose(dense, np.round(dense))
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(MethodError):
+            Identity(mechanism="gauss")
+
+    def test_single_cell_query_uses_cell_value(self, small_2d):
+        private = Identity().sanitize(small_2d, 1.0, rng=0)
+        assert private.answer(((3, 3), (4, 4))) == pytest.approx(
+            private.dense_array()[3, 4]
+        )
+
+
+class TestUniform:
+    def test_single_partition(self, small_2d):
+        private = Uniform().sanitize(small_2d, 1.0, rng=0)
+        assert private.n_partitions == 1
+
+    def test_query_proportional_to_volume(self, small_2d):
+        private = Uniform().sanitize(small_2d, 1.0, rng=0)
+        total = private.answer(full_box(small_2d.shape))
+        half = private.answer(((0, 7), (0, 15)))
+        assert half == pytest.approx(total / 2)
+
+    def test_total_close_to_truth(self, small_2d):
+        private = Uniform().sanitize(small_2d, 10.0, rng=0)
+        assert private.answer(full_box(small_2d.shape)) == pytest.approx(
+            small_2d.total, rel=0.05
+        )
+
+    def test_zero_matrix(self):
+        fm = FrequencyMatrix.zeros((8, 8))
+        private = Uniform().sanitize(fm, 1.0, rng=0)
+        # Only noise remains; magnitude ~ 1/eps.
+        assert abs(private.answer(full_box((8, 8)))) < 50.0
+
+    def test_large_uniformity_error_on_skew(self, skewed_2d):
+        """UNIFORM's weakness: a hotspot query is answered by volume share."""
+        private = Uniform().sanitize(skewed_2d, 10.0, rng=0)
+        hotspot = ((12, 19), (12, 19))
+        true = skewed_2d.range_count(hotspot)
+        est = private.answer(hotspot)
+        # The hotspot holds most of the data but only 6% of the volume.
+        assert est < true / 2

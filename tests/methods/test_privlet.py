@@ -1,0 +1,136 @@
+"""Tests for the Privlet wavelet extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, full_box
+from repro.methods import (
+    Privlet,
+    haar_axis_weights,
+    haar_forward_axis,
+    haar_inverse_axis,
+    haar_level_count,
+)
+
+
+class TestHaarTransform:
+    def test_forward_inverse_roundtrip_1d(self, rng):
+        x = rng.random(16)
+        back = haar_inverse_axis(haar_forward_axis(x, 0), 0)
+        assert np.allclose(back, x)
+
+    def test_forward_inverse_roundtrip_2d(self, rng):
+        x = rng.random((8, 16))
+        y = haar_forward_axis(haar_forward_axis(x, 0), 1)
+        back = haar_inverse_axis(haar_inverse_axis(y, 1), 0)
+        assert np.allclose(back, x)
+
+    def test_scaling_coefficient_is_mean(self):
+        x = np.arange(8, dtype=float)
+        y = haar_forward_axis(x, 0)
+        assert y[0] == pytest.approx(x.mean())
+
+    def test_constant_signal_concentrates(self):
+        x = np.full(8, 5.0)
+        y = haar_forward_axis(x, 0)
+        assert y[0] == pytest.approx(5.0)
+        assert np.allclose(y[1:], 0.0)
+
+    def test_two_point_transform(self):
+        y = haar_forward_axis(np.array([3.0, 1.0]), 0)
+        assert y[0] == pytest.approx(2.0)   # mean
+        assert y[1] == pytest.approx(1.0)   # half difference
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            haar_forward_axis(np.zeros(6), 0)
+        with pytest.raises(ValueError):
+            haar_inverse_axis(np.zeros(6), 0)
+
+
+class TestHaarWeights:
+    def test_level_count(self):
+        assert haar_level_count(1) == 1
+        assert haar_level_count(8) == 4
+
+    def test_weights_match_impulse_sensitivity(self):
+        """w(p) must upper-bound (tightly) the coefficient movement caused
+        by a unit impulse anywhere on the axis."""
+        for n in (2, 4, 8, 16):
+            w = haar_axis_weights(n)
+            worst = np.zeros(n)
+            for i in range(n):
+                e = np.zeros(n)
+                e[i] = 1.0
+                worst = np.maximum(worst, np.abs(haar_forward_axis(e, 0)))
+            assert np.allclose(w, worst)
+
+    def test_weight_layout(self):
+        w = haar_axis_weights(8)
+        assert w[0] == pytest.approx(1 / 8)      # scaling
+        assert w[1] == pytest.approx(1 / 8)      # level-3 (coarsest) detail
+        assert np.allclose(w[2:4], 1 / 4)        # level 2
+        assert np.allclose(w[4:8], 1 / 2)        # level 1 (finest)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            haar_axis_weights(6)
+        with pytest.raises(ValueError):
+            haar_level_count(0)
+
+
+class TestPrivletSanitizer:
+    def test_output_dense_backed(self, small_2d):
+        private = Privlet().sanitize(small_2d, 1.0, rng=0)
+        assert private.is_dense_backed
+        assert private.shape == small_2d.shape
+
+    def test_non_pow2_shapes_padded(self):
+        fm = FrequencyMatrix(np.ones((5, 9)))
+        private = Privlet().sanitize(fm, 1.0, rng=0)
+        assert private.shape == (5, 9)
+        assert private.metadata["padded_shape"] == [8, 16]
+
+    def test_unbiased_total(self, small_2d):
+        rng = np.random.default_rng(0)
+        totals = [
+            Privlet().sanitize(small_2d, 1.0, rng).answer(full_box(small_2d.shape))
+            for _ in range(100)
+        ]
+        assert np.mean(totals) == pytest.approx(small_2d.total, rel=0.1)
+
+    def test_large_range_beats_identity(self, rng):
+        """Privlet's raison d'etre: big queries accumulate less noise."""
+        from repro.methods import Identity
+        fm = FrequencyMatrix(rng.poisson(5.0, size=(64, 64)).astype(float))
+        box = ((0, 59), (0, 59))
+        true = fm.range_count(box)
+        priv_err, id_err = [], []
+        for s in range(20):
+            priv_err.append(abs(
+                Privlet().sanitize(fm, 0.2, np.random.default_rng(s)).answer(box)
+                - true
+            ))
+            id_err.append(abs(
+                Identity().sanitize(fm, 0.2, np.random.default_rng(s)).answer(box)
+                - true
+            ))
+        assert np.median(priv_err) < np.median(id_err)
+
+    def test_privacy_degradation_sums_to_epsilon(self):
+        """The per-group calibration must compose to exactly eps: an
+        impulse's total |delta|/scale across all coefficients equals eps."""
+        n = 16
+        eps = 0.7
+        groups = haar_level_count(n) ** 2
+        w0 = haar_axis_weights(n)
+        scale = (groups / eps) * np.outer(w0, w0)
+        worst = 0.0
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            e = np.zeros((n, n))
+            e[rng.integers(0, n), rng.integers(0, n)] = 1.0
+            coeffs = haar_forward_axis(haar_forward_axis(e, 0), 1)
+            worst = max(worst, float(np.sum(np.abs(coeffs) / scale)))
+        assert worst <= eps + 1e-9
+        assert worst == pytest.approx(eps, rel=1e-6)

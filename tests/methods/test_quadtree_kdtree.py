@@ -1,0 +1,133 @@
+"""Tests for the quadtree and kd-tree extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import KDTree, Quadtree, binary_intervals, exponential_median_split
+
+
+class TestBinaryIntervals:
+    def test_power_of_two(self):
+        assert binary_intervals(8, 2) == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_odd_size(self):
+        assert binary_intervals(5, 1) == [(0, 2), (3, 4)]
+
+    def test_height_beyond_unit_cells_stops(self):
+        assert binary_intervals(2, 10) == [(0, 0), (1, 1)]
+
+    def test_size_one(self):
+        assert binary_intervals(1, 3) == [(0, 0)]
+
+    def test_intervals_tile_axis(self):
+        for size in (3, 7, 16, 33):
+            intervals = binary_intervals(size, 3)
+            cells = [i for lo, hi in intervals for i in range(lo, hi + 1)]
+            assert cells == list(range(size))
+
+
+class TestQuadtree:
+    def test_partitions_tile(self, small_2d):
+        private = Quadtree(height=2).sanitize(small_2d, 1.0, rng=0)
+        assert sum(p.n_cells for p in private.partitions) == small_2d.n_cells
+        assert private.n_partitions == 16
+
+    def test_default_height_from_shape(self, small_2d):
+        private = Quadtree().sanitize(small_2d, 1.0, rng=0)
+        assert private.metadata["height"] == 4  # log2(16)
+
+    def test_max_height_caps(self):
+        fm = FrequencyMatrix(np.ones((1024, 1024)))
+        q = Quadtree(max_height=3)
+        assert q._resolve_height((1024, 1024)) == 3
+
+    def test_total_preserved_roughly(self, small_2d):
+        private = Quadtree(height=2).sanitize(small_2d, 10.0, rng=0)
+        assert private.answer(full_box(small_2d.shape)) == pytest.approx(
+            small_2d.total, rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(MethodError):
+            Quadtree(height=0)
+        with pytest.raises(MethodError):
+            Quadtree(max_height=0)
+
+
+class TestExponentialMedianSplit:
+    def test_balanced_split_preferred(self):
+        profile = np.ones(100)
+        rng = np.random.default_rng(0)
+        cuts = [exponential_median_split(profile, 20.0, rng) for _ in range(50)]
+        # With strong budget, cuts concentrate near the median (50).
+        assert abs(np.median(cuts) - 50) < 10
+
+    def test_skewed_profile_median(self):
+        profile = np.zeros(100)
+        profile[:10] = 100.0
+        rng = np.random.default_rng(0)
+        cuts = [exponential_median_split(profile, 20.0, rng) for _ in range(50)]
+        assert abs(np.median(cuts) - 5) < 5
+
+    def test_tiny_epsilon_near_uniform(self):
+        profile = np.zeros(50)
+        profile[0] = 1000.0
+        rng = np.random.default_rng(0)
+        cuts = np.array(
+            [exponential_median_split(profile, 1e-9, rng) for _ in range(500)]
+        )
+        assert cuts.std() > 5.0  # not collapsed to one point
+
+    def test_requires_two_cells(self):
+        with pytest.raises(MethodError):
+            exponential_median_split(np.ones(1), 1.0, np.random.default_rng(0))
+
+    def test_cut_in_valid_range(self):
+        profile = np.ones(10)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            c = exponential_median_split(profile, 0.5, rng)
+            assert 1 <= c <= 9
+
+
+class TestKDTree:
+    def test_partitions_tile(self, skewed_2d):
+        private = KDTree(height=4).sanitize(skewed_2d, 1.0, rng=0)
+        assert sum(p.n_cells for p in private.partitions) == skewed_2d.n_cells
+
+    def test_leaf_count_bounded(self, skewed_2d):
+        private = KDTree(height=4).sanitize(skewed_2d, 1.0, rng=0)
+        assert private.n_partitions <= 2**4
+
+    def test_derived_height(self, skewed_2d):
+        private = KDTree().sanitize(skewed_2d, 1.0, rng=0)
+        assert 1 <= private.metadata["height"] <= 16
+
+    def test_single_cell_matrix(self):
+        fm = FrequencyMatrix(np.array([[5.0]]))
+        private = KDTree(height=2).sanitize(fm, 1.0, rng=0)
+        assert private.n_partitions == 1
+
+    def test_validation(self):
+        with pytest.raises(MethodError):
+            KDTree(height=0)
+        with pytest.raises(MethodError):
+            KDTree(split_fraction=0.0)
+        with pytest.raises(MethodError):
+            KDTree(split_fraction=1.0)
+        with pytest.raises(MethodError):
+            KDTree(max_height=0)
+
+    def test_splits_adapt_to_density(self, rng):
+        """Dense corner should attract finer partitions than empty space."""
+        data = np.zeros((32, 32))
+        data[:8, :8] = rng.poisson(100.0, size=(8, 8))
+        fm = FrequencyMatrix(data)
+        private = KDTree(height=6).sanitize(fm, 5.0, rng=1)
+        dense_region_parts = sum(
+            1 for p in private.partitions
+            if p.box[0][0] < 8 and p.box[1][0] < 8
+        )
+        # More than half of the leaves should crowd the populated corner.
+        assert dense_region_parts > private.n_partitions / 4

@@ -1,0 +1,141 @@
+"""Tests for the Morton-curve 1-D reduction baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, MethodError, full_box
+from repro.methods import SpaceFillingCurve, adaptive_1d_runs, morton_order
+
+
+class TestMortonOrder:
+    def test_is_permutation(self):
+        order = morton_order((8, 8))
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_2x2_z_pattern(self):
+        # Z-order on a 2x2 grid: (0,0), (1,0), (0,1), (1,1) with x-bit
+        # taking the low interleave position (axis 0 first).
+        order = morton_order((2, 2))
+        flat_coords = [np.unravel_index(i, (2, 2)) for i in order]
+        assert flat_coords[0] == (0, 0)
+        assert set(map(tuple, flat_coords)) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_locality_beats_row_major(self):
+        """Mean curve-distance between grid neighbours must be far below
+        row-major's (which jumps a whole row for vertical neighbours)."""
+        shape = (32, 32)
+        order = morton_order(shape)
+        position = np.empty(order.size, dtype=np.int64)
+        position[order] = np.arange(order.size)
+        pos_grid = position.reshape(shape)
+        vertical_jumps = np.abs(np.diff(pos_grid, axis=1)).mean()
+        assert vertical_jumps < 32  # row-major vertical neighbour distance
+
+    def test_non_power_of_two(self):
+        order = morton_order((5, 7))
+        assert sorted(order.tolist()) == list(range(35))
+
+    def test_any_dimensionality(self):
+        order = morton_order((3, 4, 5))
+        assert sorted(order.tolist()) == list(range(60))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MethodError):
+            morton_order((0, 4))
+
+
+class TestAdaptive1DRuns:
+    def test_tiles_sequence(self):
+        runs = adaptive_1d_runs(np.ones(20), 4)
+        cells = [i for lo, hi in runs for i in range(lo, hi + 1)]
+        assert cells == list(range(20))
+
+    def test_equal_mass_on_uniform(self):
+        runs = adaptive_1d_runs(np.ones(100), 4)
+        lengths = [hi - lo + 1 for lo, hi in runs]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_dense_regions_get_short_runs(self):
+        values = np.ones(100)
+        values[:10] = 100.0
+        runs = adaptive_1d_runs(values, 5)
+        first_len = runs[0][1] - runs[0][0] + 1
+        last_len = runs[-1][1] - runs[-1][0] + 1
+        assert first_len < last_len
+
+    def test_empty_sequence_falls_back_to_equal_length(self):
+        runs = adaptive_1d_runs(np.zeros(12), 3)
+        assert [hi - lo + 1 for lo, hi in runs] == [4, 4, 4]
+
+    def test_run_count_capped_by_length(self):
+        runs = adaptive_1d_runs(np.ones(3), 10)
+        assert len(runs) == 3
+
+
+class TestSpaceFillingSanitizer:
+    def test_dense_backed_output(self, skewed_2d):
+        private = SpaceFillingCurve().sanitize(skewed_2d, 0.5, rng=0)
+        assert private.is_dense_backed
+        assert private.shape == skewed_2d.shape
+
+    def test_budget_respected(self, skewed_2d):
+        private = SpaceFillingCurve().sanitize(skewed_2d, 0.4, rng=0)
+        assert private.metadata["budget_summary"]["<total>"] <= 0.4 + 1e-9
+
+    def test_total_roughly_preserved(self, skewed_2d):
+        private = SpaceFillingCurve().sanitize(skewed_2d, 10.0, rng=0)
+        assert private.answer(full_box(skewed_2d.shape)) == pytest.approx(
+            skewed_2d.total, rel=0.2
+        )
+
+    def test_beats_uniform_on_skew(self, skewed_2d, rng):
+        from repro.methods import Uniform
+        from repro.queries import WorkloadEvaluator, random_workload
+        evaluator = WorkloadEvaluator(skewed_2d)
+        workload = random_workload(skewed_2d.shape, 150, rng)
+        sfc = np.mean([
+            evaluator.evaluate(
+                SpaceFillingCurve().sanitize(skewed_2d, 0.3,
+                                             np.random.default_rng(s)),
+                workload,
+            ).mre for s in range(5)
+        ])
+        uni = np.mean([
+            evaluator.evaluate(
+                Uniform().sanitize(skewed_2d, 0.3, np.random.default_rng(s)),
+                workload,
+            ).mre for s in range(5)
+        ])
+        assert sfc < uni
+
+    def test_loses_to_native_2d_partitioning(self, skewed_2d, rng):
+        """The paper's Section 5 claim: dimensionality reduction hurts
+        range-query accuracy versus proximity-preserving structures."""
+        from repro.methods import EBP
+        from repro.queries import WorkloadEvaluator, fixed_coverage_workload
+        evaluator = WorkloadEvaluator(skewed_2d)
+        workload = fixed_coverage_workload(skewed_2d.shape, 0.25, 150, rng)
+        sfc = np.mean([
+            evaluator.evaluate(
+                SpaceFillingCurve().sanitize(skewed_2d, 0.3,
+                                             np.random.default_rng(s)),
+                workload,
+            ).mre for s in range(6)
+        ])
+        native = np.mean([
+            evaluator.evaluate(
+                EBP().sanitize(skewed_2d, 0.3, np.random.default_rng(s)),
+                workload,
+            ).mre for s in range(6)
+        ])
+        assert native < sfc
+
+    def test_parameter_validation(self):
+        with pytest.raises(MethodError):
+            SpaceFillingCurve(eps0_fraction=0.0)
+        with pytest.raises(MethodError):
+            SpaceFillingCurve(partition_fraction=1.0)
+
+    def test_works_on_4d(self, small_4d):
+        private = SpaceFillingCurve().sanitize(small_4d, 0.5, rng=0)
+        assert private.shape == small_4d.shape

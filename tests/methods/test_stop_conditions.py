@@ -1,0 +1,94 @@
+"""Tests for repro.methods.daf.stop."""
+
+import math
+
+import pytest
+
+from repro.core import MethodError
+from repro.methods import (
+    AllStop,
+    AnyStop,
+    CountThreshold,
+    NeverStop,
+    NoiseAdaptiveThreshold,
+    SparsityStop,
+)
+
+
+class TestNeverStop:
+    def test_always_false(self):
+        s = NeverStop()
+        assert not s.should_stop(0.0, 0.001, 1)
+        assert not s.should_stop(-1e9, 1e-9, 10**9)
+
+
+class TestCountThreshold:
+    def test_below_threshold_stops(self):
+        s = CountThreshold(100.0)
+        assert s.should_stop(99.0, 1.0, 10)
+        assert not s.should_stop(100.0, 1.0, 10)
+
+    def test_negative_counts_stop(self):
+        assert CountThreshold(0.0).should_stop(-5.0, 1.0, 10)
+
+    def test_rejects_nan(self):
+        with pytest.raises(MethodError):
+            CountThreshold(float("nan"))
+
+    def test_repr(self):
+        assert "CountThreshold" in repr(CountThreshold(5.0))
+
+
+class TestNoiseAdaptiveThreshold:
+    def test_stops_when_count_below_noise_floor(self):
+        s = NoiseAdaptiveThreshold(2.0)
+        eps = 0.1
+        floor = 2.0 * math.sqrt(2) / eps  # ~28.3
+        assert s.should_stop(floor - 1, eps, 10)
+        assert not s.should_stop(floor + 1, eps, 10)
+
+    def test_no_budget_always_stops(self):
+        s = NoiseAdaptiveThreshold(2.0)
+        assert s.should_stop(1e9, 0.0, 10)
+
+    def test_factor_zero_never_stops_positive_counts(self):
+        s = NoiseAdaptiveThreshold(0.0)
+        assert not s.should_stop(0.5, 0.1, 10)
+        assert s.should_stop(-0.5, 0.1, 10)
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(MethodError):
+            NoiseAdaptiveThreshold(-1.0)
+
+
+class TestSparsityStop:
+    def test_stops_on_low_density(self):
+        s = SparsityStop(min_density=0.5)
+        assert s.should_stop(10.0, 1.0, 100)   # density 0.1
+        assert not s.should_stop(100.0, 1.0, 100)
+
+    def test_zero_cells_stops(self):
+        assert SparsityStop(0.5).should_stop(10.0, 1.0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MethodError):
+            SparsityStop(-0.1)
+
+
+class TestCombinators:
+    def test_any_stop(self):
+        s = AnyStop([CountThreshold(10.0), SparsityStop(0.5)])
+        assert s.should_stop(5.0, 1.0, 1)       # count fires
+        assert s.should_stop(50.0, 1.0, 1000)   # sparsity fires
+        assert not s.should_stop(50.0, 1.0, 10)
+
+    def test_all_stop(self):
+        s = AllStop([CountThreshold(10.0), SparsityStop(0.5)])
+        assert not s.should_stop(5.0, 1.0, 1)    # only count fires
+        assert s.should_stop(5.0, 1.0, 1000)     # both fire
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(MethodError):
+            AnyStop([])
+        with pytest.raises(MethodError):
+            AllStop([])

@@ -1,0 +1,127 @@
+"""Tests for repro.queries.metrics and repro.queries.evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.methods import Identity, Uniform
+from repro.queries import (
+    WorkloadEvaluator,
+    accuracy_report,
+    mean_absolute_error,
+    mean_relative_error,
+    random_workload,
+    relative_errors,
+    root_mean_squared_error,
+)
+
+
+class TestRelativeErrors:
+    def test_eq3_formula(self):
+        errs = relative_errors(np.array([100.0]), np.array([110.0]))
+        assert errs[0] == pytest.approx(10.0)
+
+    def test_symmetric_in_error_sign(self):
+        down = relative_errors(np.array([100.0]), np.array([90.0]))
+        up = relative_errors(np.array([100.0]), np.array([110.0]))
+        assert down[0] == up[0]
+
+    def test_floor_guards_empty_queries(self):
+        errs = relative_errors(np.array([0.0]), np.array([5.0]))
+        assert errs[0] == pytest.approx(500.0)  # |5-0|/max(0,1)*100
+
+    def test_custom_floor(self):
+        errs = relative_errors(np.array([0.0]), np.array([5.0]), floor=10.0)
+        assert errs[0] == pytest.approx(50.0)
+
+    def test_perfect_answers(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        assert relative_errors(truth, truth.copy()).sum() == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            relative_errors(np.zeros(3), np.zeros(4))
+
+    def test_floor_validation(self):
+        with pytest.raises(ValidationError):
+            relative_errors(np.zeros(1), np.zeros(1), floor=0.0)
+
+
+class TestAggregateMetrics:
+    def test_mre_mean(self):
+        truth = np.array([100.0, 100.0])
+        est = np.array([110.0, 130.0])
+        assert mean_relative_error(truth, est) == pytest.approx(20.0)
+
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 0.0])
+        ) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert root_mean_squared_error(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(np.sqrt(12.5))
+
+    def test_accuracy_report_fields(self):
+        truth = np.array([10.0, 20.0, 30.0])
+        est = np.array([11.0, 19.0, 33.0])
+        rep = accuracy_report(truth, est)
+        assert rep.n_queries == 3
+        assert rep.mre > 0
+        assert rep.median_re > 0
+        assert set(rep.as_dict()) == {"mre", "median_re", "mae", "rmse",
+                                      "n_queries"}
+
+
+class TestWorkloadEvaluator:
+    def test_true_answers_cached_and_correct(self, small_2d, rng):
+        ev = WorkloadEvaluator(small_2d)
+        wl = random_workload(small_2d.shape, 30, rng)
+        truth = ev.true_answers(wl)
+        for q, t in zip(wl, truth):
+            assert t == pytest.approx(small_2d.range_count(q))
+        assert ev.true_answers(wl) is truth  # cached object
+
+    def test_evaluate_result_fields(self, small_2d, rng):
+        ev = WorkloadEvaluator(small_2d)
+        wl = random_workload(small_2d.shape, 30, rng)
+        private = Identity().sanitize(small_2d, 1.0, rng=0)
+        res = ev.evaluate(private, wl)
+        assert res.method == "identity"
+        assert res.workload == wl.name
+        assert res.epsilon == 1.0
+        assert res.mre >= 0.0
+        assert res.as_dict()["mre"] == res.mre
+
+    def test_evaluate_many_cross_product(self, small_2d, rng):
+        ev = WorkloadEvaluator(small_2d)
+        wls = [
+            random_workload(small_2d.shape, 10, rng, name="a"),
+            random_workload(small_2d.shape, 10, rng, name="b"),
+        ]
+        privates = [
+            Identity().sanitize(small_2d, 1.0, rng=0),
+            Uniform().sanitize(small_2d, 1.0, rng=0),
+        ]
+        results = ev.evaluate_many(privates, wls)
+        assert len(results) == 4
+        assert {(r.method, r.workload) for r in results} == {
+            ("identity", "a"), ("identity", "b"),
+            ("uniform", "a"), ("uniform", "b"),
+        }
+
+    def test_more_budget_less_error(self, skewed_2d, rng):
+        ev = WorkloadEvaluator(skewed_2d)
+        wl = random_workload(skewed_2d.shape, 100, rng)
+        mre_tight = np.mean([
+            ev.evaluate(Identity().sanitize(skewed_2d, 0.05,
+                                            np.random.default_rng(s)), wl).mre
+            for s in range(3)
+        ])
+        mre_loose = np.mean([
+            ev.evaluate(Identity().sanitize(skewed_2d, 5.0,
+                                            np.random.default_rng(s)), wl).mre
+            for s in range(3)
+        ])
+        assert mre_loose < mre_tight

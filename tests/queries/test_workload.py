@@ -1,0 +1,122 @@
+"""Tests for repro.queries.workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.queries import (
+    Workload,
+    centered_workload,
+    fixed_coverage_workload,
+    paper_workloads,
+    random_workload,
+)
+
+
+class TestWorkloadContainer:
+    def test_basic(self):
+        wl = Workload("w", (4, 4), (((0, 1), (0, 1)),))
+        assert len(wl) == 1
+        assert list(wl) == [((0, 1), (0, 1))]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Workload("w", (4, 4), ())
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValidationError):
+            Workload("w", (4, 4), (((0, 1),),))
+
+    def test_coverage_fractions(self):
+        wl = Workload("w", (4, 4), (((0, 1), (0, 1)), ((0, 3), (0, 3))))
+        fracs = wl.coverage_fractions()
+        assert fracs[0] == pytest.approx(0.25)
+        assert fracs[1] == pytest.approx(1.0)
+
+
+class TestRandomWorkload:
+    def test_count_and_shape(self, rng):
+        wl = random_workload((10, 20), 50, rng)
+        assert len(wl) == 50
+        assert wl.shape == (10, 20)
+
+    def test_queries_in_bounds(self, rng):
+        wl = random_workload((10, 20), 100, rng)
+        for q in wl:
+            for (lo, hi), s in zip(q, (10, 20)):
+                assert 0 <= lo <= hi < s
+
+    def test_sizes_vary(self, rng):
+        wl = random_workload((50, 50), 100, rng)
+        assert len(set(wl.coverage_fractions().round(4))) > 10
+
+    def test_reproducible(self):
+        a = random_workload((10, 10), 20, rng=3)
+        b = random_workload((10, 10), 20, rng=3)
+        assert a.queries == b.queries
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            random_workload((10,), 0)
+
+
+class TestFixedCoverageWorkload:
+    def test_sides_fixed(self, rng):
+        wl = fixed_coverage_workload((100, 100), 0.1, 50, rng)
+        for q in wl:
+            assert q[0][1] - q[0][0] + 1 == 10
+            assert q[1][1] - q[1][0] + 1 == 10
+
+    def test_coverage_one_is_full_matrix(self, rng):
+        wl = fixed_coverage_workload((8, 8), 1.0, 5, rng)
+        assert all(q == ((0, 7), (0, 7)) for q in wl)
+
+    def test_tiny_coverage_floors_at_one_cell(self, rng):
+        wl = fixed_coverage_workload((10, 10), 0.001, 5, rng)
+        for q in wl:
+            assert q[0][1] - q[0][0] == 0
+
+    def test_in_bounds(self, rng):
+        wl = fixed_coverage_workload((17, 33), 0.25, 200, rng)
+        for q in wl:
+            for (lo, hi), s in zip(q, (17, 33)):
+                assert 0 <= lo <= hi < s
+
+    def test_default_name(self, rng):
+        assert fixed_coverage_workload((8, 8), 0.05, 5, rng).name == "coverage_0.05"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fixed_coverage_workload((8, 8), 0.0, 5)
+        with pytest.raises(ValidationError):
+            fixed_coverage_workload((8, 8), 1.5, 5)
+
+
+class TestCenteredWorkload:
+    def test_centers_respected(self):
+        centers = np.array([[50, 50]])
+        wl = centered_workload((100, 100), 0.1, centers)
+        (q,) = wl.queries
+        assert q[0][0] <= 50 <= q[0][1]
+
+    def test_clipped_at_edges(self):
+        centers = np.array([[0, 99]])
+        wl = centered_workload((100, 100), 0.2, centers)
+        (q,) = wl.queries
+        assert q[0][0] == 0
+        assert q[1][1] == 99
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            centered_workload((10, 10), 0.1, np.zeros((3, 3)))
+        with pytest.raises(ValidationError):
+            centered_workload((10, 10), 0.0, np.zeros((1, 2)))
+
+
+class TestPaperWorkloads:
+    def test_four_workloads(self, rng):
+        wls = paper_workloads((64, 64), 20, rng)
+        assert [w.name for w in wls] == [
+            "random", "coverage_0.01", "coverage_0.05", "coverage_0.1"
+        ]
+        assert all(len(w) == 20 for w in wls)

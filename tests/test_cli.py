@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_methods_command_parses(self):
+        args = build_parser().parse_args(["methods"])
+        assert args.command == "methods"
+
+    def test_sanitize_defaults(self):
+        args = build_parser().parse_args(["sanitize"])
+        assert args.method == "daf_entropy"
+        assert args.epsilon == 0.1
+
+    def test_figure_validates_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+
+class TestCommands:
+    def test_methods_lists_all(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("identity", "ebp", "daf_entropy", "ag"):
+            assert name in out
+
+    def test_sanitize_city(self, capsys, tmp_path):
+        out_file = tmp_path / "private.json"
+        code = main([
+            "sanitize", "--dataset", "denver", "--n-points", "5000",
+            "--resolution", "32", "--method", "ebp", "--epsilon", "0.5",
+            "--n-queries", "50", "--output", str(out_file),
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "MRE=" in err
+        payload = json.loads(out_file.read_text())
+        assert payload["method"] == "ebp"
+
+    def test_sanitize_gaussian(self, capsys):
+        code = main([
+            "sanitize", "--dataset", "gaussian", "--n-points", "4000",
+            "--dims", "2", "--method", "identity", "--n-queries", "20",
+        ])
+        assert code == 0
+
+    def test_sanitize_zipf(self, capsys):
+        code = main([
+            "sanitize", "--dataset", "zipf", "--n-points", "4000",
+            "--dims", "2", "--method", "uniform", "--n-queries", "20",
+        ])
+        assert code == 0
+
+    def test_compare_subset(self, capsys):
+        code = main([
+            "compare", "--dataset", "detroit", "--n-points", "5000",
+            "--resolution", "32", "--methods", "identity", "ebp",
+            "--n-queries", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identity" in out and "ebp" in out
+
+    def test_figure_table3(self, capsys):
+        code = main(["figure", "table3", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "daf_entropy" in out

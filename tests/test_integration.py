@@ -1,0 +1,143 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DAFEntropy,
+    FrequencyMatrix,
+    PrivateFrequencyMatrix,
+    WorkloadEvaluator,
+    get_sanitizer,
+    od_matrix_with_stops,
+    random_workload,
+)
+from repro.datagen import get_city, simulate_od_dataset
+from repro.methods import PAPER_METHODS
+from repro.queries import fixed_coverage_workload
+from repro.trajectories import circle_region, flow_between, flow_via
+
+
+class TestCityPipeline:
+    """City model -> population histogram -> sanitize -> evaluate."""
+
+    @pytest.fixture(scope="class")
+    def city_matrix(self):
+        return get_city("new_york").population_matrix(
+            n_points=50_000, resolution=64, rng=7
+        )
+
+    def test_full_pipeline_all_methods(self, city_matrix):
+        evaluator = WorkloadEvaluator(city_matrix)
+        workload = random_workload(city_matrix.shape, 100, rng=1)
+        mres = {}
+        for name in PAPER_METHODS:
+            private = get_sanitizer(name).sanitize(city_matrix, 0.5, rng=2)
+            mres[name] = evaluator.evaluate(private, workload).mre
+        # Shape check: adaptive methods beat IDENTITY on skewed city data.
+        assert mres["ebp"] < mres["identity"]
+        assert mres["daf_entropy"] < mres["identity"]
+
+    def test_coverage_trend(self, city_matrix):
+        """Error decreases as query coverage grows (paper Section 6.3)."""
+        evaluator = WorkloadEvaluator(city_matrix)
+        private = get_sanitizer("ebp").sanitize(city_matrix, 0.3, rng=3)
+        mres = []
+        for coverage in (0.01, 0.05, 0.25):
+            wl = fixed_coverage_workload(city_matrix.shape, coverage, 150, rng=4)
+            mres.append(evaluator.evaluate(private, wl).mre)
+        assert mres[-1] < mres[0]
+
+    def test_epsilon_trend(self, city_matrix):
+        """Error decreases as the privacy budget grows."""
+        evaluator = WorkloadEvaluator(city_matrix)
+        workload = random_workload(city_matrix.shape, 150, rng=5)
+        mres = []
+        for eps in (0.05, 0.5, 5.0):
+            runs = [
+                evaluator.evaluate(
+                    get_sanitizer("ebp").sanitize(
+                        city_matrix, eps, np.random.default_rng(s)
+                    ),
+                    workload,
+                ).mre
+                for s in range(3)
+            ]
+            mres.append(np.mean(runs))
+        assert mres[2] < mres[0]
+
+
+class TestODPipeline:
+    """Trajectories -> OD matrix with stops -> sanitize -> OD queries."""
+
+    @pytest.fixture(scope="class")
+    def od_setup(self):
+        city = get_city("denver")
+        dataset = simulate_od_dataset(city, 20_000, n_stops=1, rng=11)
+        matrix = od_matrix_with_stops(
+            dataset, city.grid, cell_budget=120_000
+        )
+        return city, dataset, matrix
+
+    def test_od_matrix_preserves_count(self, od_setup):
+        _, dataset, matrix = od_setup
+        assert matrix.total == dataset.n_trajectories
+        assert matrix.ndim == 6
+
+    def test_sanitize_and_query_flows(self, od_setup):
+        city, dataset, matrix = od_setup
+        private = DAFEntropy().sanitize(matrix, 1.0, rng=0)
+        center = city.side_km / 2
+        a = circle_region((center - 10, center - 10), 8.0)
+        b = circle_region((center + 10, center + 10), 8.0)
+        true_flow = flow_between(matrix, a, b)
+        noisy_flow = flow_between(private, a, b)
+        assert noisy_flow == pytest.approx(true_flow, abs=max(500, true_flow))
+
+    def test_via_query_less_than_unconstrained(self, od_setup):
+        city, dataset, matrix = od_setup
+        center = city.side_km / 2
+        a = circle_region((center - 10, center - 10), 8.0)
+        b = circle_region((center + 10, center + 10), 8.0)
+        s = circle_region((center, center), 5.0)
+        assert flow_via(matrix, a, b, s) <= flow_between(matrix, a, b) + 1e-9
+
+    def test_higher_dimensional_sanitization_all_paper_methods(self, od_setup):
+        _, _, matrix = od_setup
+        for name in PAPER_METHODS:
+            private = get_sanitizer(name).sanitize(matrix, 0.5, rng=1)
+            assert private.shape == matrix.shape
+
+
+class TestSerializationRoundtrip:
+    def test_publish_and_reload_preserves_answers(self, skewed_2d):
+        private = get_sanitizer("daf_homogeneity").sanitize(
+            skewed_2d, 0.5, rng=0
+        )
+        payload = private.to_publishable()
+        reloaded = PrivateFrequencyMatrix.from_publishable(payload)
+        box = ((3, 20), (5, 27))
+        assert reloaded.answer(box) == pytest.approx(private.answer(box))
+
+    def test_json_compatible(self, skewed_2d):
+        import json
+        private = get_sanitizer("ebp").sanitize(skewed_2d, 0.5, rng=0)
+        payload = private.to_publishable()
+        payload.pop("metadata")  # metadata may hold tuples; counts must ship
+        text = json.dumps(payload)
+        reloaded = PrivateFrequencyMatrix.from_publishable(json.loads(text))
+        assert reloaded.n_partitions == private.n_partitions
+
+
+class TestConsistencyAcrossEngines:
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_partition_and_dense_answers_agree(self, name, skewed_2d, rng):
+        private = get_sanitizer(name).sanitize(skewed_2d, 0.5, rng=9)
+        boxes = []
+        for _ in range(20):
+            a, b = sorted(rng.integers(0, 32, size=2))
+            c, d = sorted(rng.integers(0, 32, size=2))
+            boxes.append(((int(a), int(b)), (int(c), int(d))))
+        direct = np.array([private.answer(bx) for bx in boxes])
+        via_prefix = private._prefix_table().query_many(boxes)
+        assert np.allclose(direct, via_prefix, atol=1e-8)

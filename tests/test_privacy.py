@@ -1,0 +1,127 @@
+"""Privacy-focused tests: budget invariants and statistical DP checks.
+
+A full DP verification is impossible by testing alone; these tests check
+the *accounting* invariants every mechanism must satisfy (never overspend
+the ledger; tree charges compose along paths) and run a statistical
+likelihood-ratio check of the Laplace primitive on neighbouring inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Domain, FrequencyMatrix
+from repro.dp import laplace_noise
+from repro.methods import available_methods, get_sanitizer
+
+
+def neighbouring_pair(rng, shape=(12, 12), n=800):
+    """Two matrices differing by exactly one record."""
+    cells = np.stack([rng.integers(0, s, size=n) for s in shape], axis=1)
+    fm = FrequencyMatrix.from_cells(cells, Domain.regular(shape))
+    data2 = fm.data.copy()
+    data2[tuple(cells[0])] -= 1
+    return fm, FrequencyMatrix(data2)
+
+
+class TestBudgetInvariants:
+    @pytest.mark.parametrize("name", available_methods())
+    @pytest.mark.parametrize("epsilon", [0.1, 1.0])
+    def test_never_overspends(self, name, epsilon, skewed_2d):
+        private = get_sanitizer(name).sanitize(skewed_2d, epsilon, rng=0)
+        total = private.metadata["budget_summary"]["<total>"]
+        assert total <= epsilon + 1e-9
+
+    @pytest.mark.parametrize("name", ["eug", "ebp", "mkm",
+                                      "daf_entropy", "daf_homogeneity"])
+    def test_spends_whole_budget(self, name, skewed_2d):
+        """The paper's methods are designed to consume the full budget —
+        leaving budget unspent is an accuracy bug, not a privacy one."""
+        private = get_sanitizer(name).sanitize(skewed_2d, 0.5, rng=0)
+        total = private.metadata["budget_summary"]["<total>"]
+        assert total == pytest.approx(0.5, rel=1e-6)
+
+    def test_daf_path_composition(self, skewed_2d):
+        """Every DAF root-to-leaf path spends exactly eps_tot."""
+        for name in ("daf_entropy", "daf_homogeneity"):
+            method = get_sanitizer(name)
+            method.sanitize(skewed_2d, 0.3, rng=1)
+            tree = method.tree_
+
+            def check(node, acc):
+                acc += node.eps_spent
+                if node.is_leaf:
+                    assert acc == pytest.approx(0.3, rel=1e-6)
+                for child in node.children:
+                    check(child, acc)
+
+            check(tree, 0.0)
+
+
+class TestPublishedOutputsOnly:
+    @pytest.mark.parametrize("name", available_methods())
+    def test_publishable_payload_has_no_true_counts(self, name, skewed_2d):
+        private = get_sanitizer(name).sanitize(skewed_2d, 0.5, rng=0)
+        payload = private.to_publishable()
+
+        def scan(obj):
+            if isinstance(obj, dict):
+                for k, v in obj.items():
+                    assert k != "true_count"
+                    assert k != "count" or not isinstance(v, (int, float))
+                    scan(v)
+            elif isinstance(obj, (list, tuple)):
+                for v in obj:
+                    scan(v)
+
+        scan(payload)
+
+
+class TestLaplaceLikelihoodRatio:
+    def test_epsilon_indistinguishability_statistical(self):
+        """Empirical check of Def. 1 on the scalar Laplace mechanism:
+        for neighbouring counts c and c+1, the probability of any interval
+        differs by at most a factor e^eps (up to sampling error)."""
+        eps = 0.5
+        n = 400_000
+        rng = np.random.default_rng(0)
+        out_a = 10.0 + laplace_noise(1.0, eps, rng, size=n)
+        out_b = 11.0 + laplace_noise(1.0, eps, rng, size=n)
+        bins = np.linspace(0.0, 21.0, 22)
+        hist_a, _ = np.histogram(out_a, bins=bins)
+        hist_b, _ = np.histogram(out_b, bins=bins)
+        mask = (hist_a > 500) & (hist_b > 500)
+        ratio = hist_a[mask] / hist_b[mask]
+        assert ratio.max() <= np.exp(eps) * 1.15
+        assert ratio.min() >= np.exp(-eps) / 1.15
+
+    def test_noise_distribution_is_laplace(self):
+        """Kolmogorov-Smirnov check of the noise primitive."""
+        from scipy import stats
+        eps = 0.7
+        sample = laplace_noise(1.0, eps, rng=1, size=100_000)
+        _, pvalue = stats.kstest(sample, "laplace", args=(0.0, 1.0 / eps))
+        assert pvalue > 0.01
+
+
+class TestNeighbouringOutputsOverlap:
+    @pytest.mark.parametrize("name", ["identity", "uniform", "ebp"])
+    def test_output_distributions_overlap(self, name, rng):
+        """Coarse sanity: outputs on neighbouring datasets must be
+        statistically close at moderate eps — their mean answers on a fixed
+        query should differ far less than the noise spread."""
+        fm_a, fm_b = neighbouring_pair(rng)
+        box = ((0, 5), (0, 5))
+        answers_a = []
+        answers_b = []
+        for s in range(40):
+            child = np.random.default_rng(s)
+            answers_a.append(
+                get_sanitizer(name).sanitize(fm_a, 0.2, child).answer(box)
+            )
+            child = np.random.default_rng(1000 + s)
+            answers_b.append(
+                get_sanitizer(name).sanitize(fm_b, 0.2, child).answer(box)
+            )
+        gap = abs(np.mean(answers_a) - np.mean(answers_b))
+        spread = np.std(answers_a) + np.std(answers_b) + 1e-9
+        assert gap < spread * 2

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    Domain,
+    FrequencyMatrix,
+    PrefixSumTable,
+    distribution_entropy,
+    full_box,
+    grid_boxes,
+    split_interval,
+)
+from repro.dp import BudgetLedger, geometric_level_budgets, split_budget
+from repro.methods import clamp_granularity, ebp_granularity
+from repro.methods.privlet import (
+    haar_axis_weights,
+    haar_forward_axis,
+    haar_inverse_axis,
+)
+from repro.queries import relative_errors
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+count_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+shapes = st.lists(st.integers(1, 12), min_size=1, max_size=3).map(tuple)
+
+
+@st.composite
+def matrix_and_box(draw):
+    data = draw(count_arrays)
+    box = []
+    for s in data.shape:
+        a = draw(st.integers(0, s - 1))
+        b = draw(st.integers(0, s - 1))
+        box.append((min(a, b), max(a, b)))
+    return FrequencyMatrix(data), tuple(box)
+
+
+# ----------------------------------------------------------------------
+# FrequencyMatrix / prefix sums
+# ----------------------------------------------------------------------
+class TestMatrixProperties:
+    @given(matrix_and_box())
+    def test_range_count_matches_prefix_sum(self, mb):
+        fm, box = mb
+        table = PrefixSumTable(fm.data)
+        assert table.query(box) == pytest.approx(fm.range_count(box), rel=1e-9, abs=1e-6)
+
+    @given(count_arrays)
+    def test_total_equals_full_box(self, data):
+        fm = FrequencyMatrix(data)
+        assert fm.range_count(full_box(fm.shape)) == pytest.approx(fm.total)
+
+    @given(matrix_and_box())
+    def test_range_count_nonnegative_and_bounded(self, mb):
+        fm, box = mb
+        c = fm.range_count(box)
+        assert -1e-9 <= c <= fm.total + 1e-6
+
+    @given(count_arrays)
+    def test_probabilities_normalized(self, data):
+        fm = FrequencyMatrix(data)
+        p = fm.probabilities()
+        total = p.sum()
+        assert total == pytest.approx(1.0) or total == 0.0
+
+
+# ----------------------------------------------------------------------
+# Partitioning helpers
+# ----------------------------------------------------------------------
+class TestPartitioningProperties:
+    @given(shapes, st.lists(st.integers(1, 15), min_size=1, max_size=3))
+    def test_grid_boxes_tile_exactly(self, shape, ms):
+        if len(ms) < len(shape):
+            ms = ms + [1] * (len(shape) - len(ms))
+        boxes = grid_boxes(shape, ms[: len(shape)])
+        covered = np.zeros(shape, dtype=int)
+        for box in boxes:
+            covered[tuple(slice(lo, hi + 1) for lo, hi in box)] += 1
+        assert (covered == 1).all()
+
+    @given(
+        st.integers(0, 50),
+        st.integers(0, 50),
+        st.sets(st.integers(1, 100), max_size=5),
+    )
+    def test_split_interval_tiles(self, lo, width, cut_offsets):
+        hi = lo + width
+        cuts = sorted(c + lo for c in cut_offsets if lo < c + lo <= hi)
+        intervals = split_interval(lo, hi, cuts)
+        cells = [i for a, b in intervals for i in range(a, b + 1)]
+        assert cells == list(range(lo, hi + 1))
+
+
+# ----------------------------------------------------------------------
+# Entropy
+# ----------------------------------------------------------------------
+class TestEntropyProperties:
+    @given(st.lists(st.floats(0.0, 1e9, allow_nan=False), min_size=1, max_size=64))
+    def test_entropy_bounds(self, weights):
+        h = distribution_entropy(weights)
+        assert -1e-9 <= h <= np.log2(len(weights)) + 1e-9
+
+    @given(st.lists(st.floats(0.01, 1e6), min_size=2, max_size=32))
+    def test_aggregation_cannot_increase_entropy(self, weights):
+        h_full = distribution_entropy(weights)
+        half = len(weights) // 2
+        merged = [sum(weights[:half]) or 0.0, sum(weights[half:])]
+        assert distribution_entropy(merged) <= h_full + 1e-9
+
+
+# ----------------------------------------------------------------------
+# DP budget machinery
+# ----------------------------------------------------------------------
+class TestBudgetProperties:
+    @given(
+        st.floats(0.01, 10.0),
+        st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+    )
+    def test_split_budget_sums_exactly(self, eps, fractions):
+        parts = split_budget(eps, fractions)
+        # a + (b - a) can round: exact to the last ulp, not bit-identical.
+        assert sum(parts) == pytest.approx(eps, rel=1e-12)
+        assert all(p > 0 for p in parts)
+
+    @given(
+        st.floats(0.01, 5.0),
+        st.floats(1.0, 100.0),
+        st.integers(1, 8),
+    )
+    def test_geometric_budgets_sum_and_positive(self, eps, m0, depth):
+        budgets = geometric_level_budgets(eps, m0, depth)
+        assert sum(budgets) == pytest.approx(eps)
+        assert all(b > 0 for b in budgets)
+
+    @given(st.lists(st.floats(0.001, 0.2), min_size=1, max_size=10))
+    def test_ledger_sequential_total(self, charges):
+        ledger = BudgetLedger(10.0)
+        for c in charges:
+            ledger.charge(c)
+        assert ledger.total_spent() == pytest.approx(sum(charges))
+        ledger.assert_within_budget()
+
+
+# ----------------------------------------------------------------------
+# Granularity formulas
+# ----------------------------------------------------------------------
+class TestGranularityProperties:
+    @given(
+        st.floats(1.0, 1e9),
+        st.floats(0.001, 10.0),
+        st.integers(1, 8),
+    )
+    def test_ebp_granularity_positive_finite(self, n, eps, d):
+        m = ebp_granularity(n, eps, d)
+        assert m >= 1.0
+        assert np.isfinite(m)
+
+    @given(st.floats(-1e3, 1e6), st.integers(1, 100))
+    def test_clamp_granularity_in_range(self, m, size):
+        c = clamp_granularity(m, size)
+        assert 1 <= c <= size
+
+
+# ----------------------------------------------------------------------
+# Haar transform
+# ----------------------------------------------------------------------
+class TestHaarProperties:
+    @given(
+        st.integers(0, 5).flatmap(
+            lambda k: hnp.arrays(
+                np.float64, 2**k,
+                elements=st.floats(-1e6, 1e6, allow_nan=False),
+            )
+        )
+    )
+    def test_roundtrip(self, x):
+        back = haar_inverse_axis(haar_forward_axis(x, 0), 0)
+        assert np.allclose(back, x, atol=1e-6)
+
+    @given(st.integers(0, 8))
+    def test_weights_are_powers_of_two(self, k):
+        w = haar_axis_weights(2**k)
+        assert np.all(w > 0)
+        logs = np.log2(w)
+        assert np.allclose(logs, np.round(logs))
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(
+        hnp.arrays(np.float64, 10, elements=st.floats(0, 1e6)),
+        hnp.arrays(np.float64, 10, elements=st.floats(-1e6, 1e6)),
+    )
+    def test_relative_errors_nonnegative(self, truth, est):
+        errs = relative_errors(truth, est)
+        assert (errs >= 0).all()
+
+    @given(hnp.arrays(np.float64, 10, elements=st.floats(0, 1e6)))
+    def test_perfect_estimate_zero_error(self, truth):
+        assert relative_errors(truth, truth.copy()).sum() == 0.0
+
+
+# ----------------------------------------------------------------------
+# End-to-end sanitizer invariants (sampled, slower: fewer examples)
+# ----------------------------------------------------------------------
+@st.composite
+def small_matrices(draw):
+    shape = draw(st.lists(st.integers(2, 10), min_size=1, max_size=3).map(tuple))
+    total = draw(st.integers(0, 2000))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    if total:
+        cells = np.stack(
+            [rng.integers(0, s, size=total) for s in shape], axis=1
+        )
+        return FrequencyMatrix.from_cells(cells, Domain.regular(shape))
+    return FrequencyMatrix.zeros(shape)
+
+
+class TestSanitizerProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_matrices(), st.sampled_from(
+        ["identity", "uniform", "eug", "ebp", "mkm",
+         "daf_entropy", "daf_homogeneity"]
+    ))
+    def test_partitions_always_tile(self, fm, name):
+        from repro.methods import get_sanitizer
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        if private.is_dense_backed:
+            assert private.n_partitions == fm.n_cells
+        else:
+            covered = np.zeros(fm.shape, dtype=int)
+            for p in private.partitions:
+                covered[tuple(slice(lo, hi + 1) for lo, hi in p.box)] += 1
+            assert (covered == 1).all()
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_matrices(), st.sampled_from(
+        ["identity", "uniform", "eug", "ebp", "daf_entropy"]
+    ))
+    def test_answer_additivity(self, fm, name):
+        """Disjoint halves must sum to the whole (query consistency)."""
+        from repro.methods import get_sanitizer
+        private = get_sanitizer(name).sanitize(fm, 0.5, rng=0)
+        fb = full_box(fm.shape)
+        s = fm.shape[0]
+        if s < 2:
+            return
+        mid = s // 2
+        left = (((0, mid - 1),) + fb[1:])
+        right = (((mid, s - 1),) + fb[1:])
+        total = private.answer(fb)
+        assert private.answer(left) + private.answer(right) == pytest.approx(
+            total, rel=1e-6, abs=1e-6
+        )

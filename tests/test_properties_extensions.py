@@ -1,0 +1,201 @@
+"""Property-based tests for the extension layers: consistency
+post-processing, DAF boosting, semantic maps, and OD construction."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    Partition,
+    Partitioning,
+    PrivateFrequencyMatrix,
+    clip_nonnegative,
+    project_nonnegative_total,
+    rescale_to_total,
+)
+from repro.methods.daf.boosting import boost_tree_consistency
+from repro.methods.daf.node import DAFNode
+
+
+# ----------------------------------------------------------------------
+# Consistency post-processing
+# ----------------------------------------------------------------------
+@st.composite
+def private_1d(draw):
+    counts = draw(st.lists(
+        st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=20
+    ))
+    parts = [Partition(((i, i),), float(c)) for i, c in enumerate(counts)]
+    return PrivateFrequencyMatrix(
+        Partitioning(parts, (len(counts),)), epsilon=1.0, method="t"
+    )
+
+
+class TestConsistencyProperties:
+    @given(private_1d())
+    def test_clip_produces_nonnegative(self, private):
+        out = clip_nonnegative(private)
+        assert all(p.noisy_count >= 0 for p in out.partitions)
+
+    @given(private_1d())
+    def test_clip_idempotent(self, private):
+        once = clip_nonnegative(private)
+        twice = clip_nonnegative(once)
+        a = [p.noisy_count for p in once.partitions]
+        b = [p.noisy_count for p in twice.partitions]
+        assert a == b
+
+    @given(private_1d(), st.floats(0.1, 1e5))
+    def test_rescale_hits_target(self, private, target):
+        from repro.core import ValidationError
+        current = sum(p.noisy_count for p in private.partitions)
+        if current <= 0:
+            return
+        try:
+            out = rescale_to_total(private, target)
+        except ValidationError:
+            # Degenerate current sums (denormal dust) are rejected.
+            assert target / current == float("inf") or current < 1e-300
+            return
+        assert sum(p.noisy_count for p in out.partitions) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    @given(private_1d(), st.floats(0.0, 1e5))
+    def test_projection_invariants(self, private, target):
+        out = project_nonnegative_total(private, target_total=target)
+        values = np.array([p.noisy_count for p in out.partitions])
+        assert (values >= -1e-12).all()
+        assert values.sum() == pytest.approx(target, rel=1e-6, abs=1e-6)
+
+    @given(private_1d())
+    def test_postprocessing_preserves_epsilon(self, private):
+        assert clip_nonnegative(private).epsilon == private.epsilon
+
+
+# ----------------------------------------------------------------------
+# Boosting
+# ----------------------------------------------------------------------
+@st.composite
+def random_trees(draw):
+    """A depth-2 tree with random fanouts, counts, budgets."""
+    fanout = draw(st.integers(2, 5))
+    leaf_counts = draw(st.lists(
+        st.floats(0, 1e4, allow_nan=False),
+        min_size=fanout, max_size=fanout,
+    ))
+    eps = draw(st.floats(0.05, 2.0))
+    noise = draw(st.floats(-50, 50))
+    total = sum(leaf_counts)
+    size_per_leaf = 4
+    root = DAFNode(
+        box=((0, fanout * size_per_leaf - 1),), depth=0, count=total,
+        ncount=total + noise, eps_spent=eps, ncount_variance=2.0 / eps**2,
+    )
+    for i, c in enumerate(leaf_counts):
+        child_eps = draw(st.floats(0.05, 2.0))
+        child_noise = draw(st.floats(-50, 50))
+        root.children.append(DAFNode(
+            box=((i * size_per_leaf, (i + 1) * size_per_leaf - 1),),
+            depth=1, count=c, ncount=c + child_noise,
+            eps_spent=child_eps, ncount_variance=2.0 / child_eps**2,
+        ))
+    root.split_axis = 0
+    root.fanout = fanout
+    return root
+
+
+class TestBoostingProperties:
+    @given(random_trees())
+    def test_consistency_holds(self, root):
+        final = boost_tree_consistency(root)
+        child_sum = sum(final[id(c)] for c in root.children)
+        assert child_sum == pytest.approx(final[id(root)], rel=1e-9, abs=1e-6)
+
+    @given(random_trees())
+    def test_root_between_estimates(self, root):
+        """The combined root estimate is a convex combination of the two
+        unbiased estimates: it lies between them."""
+        final = boost_tree_consistency(root)
+        own = root.ncount
+        child_sum = sum(c.ncount for c in root.children)
+        lo, hi = min(own, child_sum), max(own, child_sum)
+        assert lo - 1e-9 <= final[id(root)] <= hi + 1e-9
+
+    @given(random_trees())
+    def test_noiseless_tree_unchanged(self, root):
+        """If every estimate is exact, boosting must return exact values."""
+        root.ncount = root.count
+        for c in root.children:
+            c.ncount = c.count
+        final = boost_tree_consistency(root)
+        tol = max(1.0, root.count) * 1e-9
+        assert final[id(root)] == pytest.approx(root.count, abs=tol)
+        for c in root.children:
+            assert final[id(c)] == pytest.approx(c.count, abs=tol)
+
+
+# ----------------------------------------------------------------------
+# Semantic maps
+# ----------------------------------------------------------------------
+class TestSemanticProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(4, 24), st.integers(4, 24),
+        st.integers(1, 30), st.integers(0, 2**31),
+    )
+    def test_random_map_total_partition(self, nx, ny, patches, seed):
+        """Category masks partition the grid: fractions sum to one."""
+        from repro.trajectories import SemanticMap, SpatialGrid
+        sem = SemanticMap.random(SpatialGrid(nx, ny), patch_count=patches,
+                                 rng=seed)
+        total = sum(sem.category_fraction(c) for c in sem.categories)
+        assert total == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 2**31))
+    def test_sequence_counts_partition_the_total(self, seed):
+        """Summing sequence counts over all (origin_cat, dest_cat) pairs
+        recovers the matrix total exactly."""
+        from repro.core import Domain, FrequencyMatrix
+        from repro.trajectories import (
+            SemanticMap, SpatialGrid, semantic_sequence_count,
+        )
+        rng = np.random.default_rng(seed)
+        data = rng.poisson(1.0, size=(6, 6, 6, 6)).astype(float)
+        fm = FrequencyMatrix(data, Domain.regular(data.shape))
+        sem = SemanticMap.random(SpatialGrid(6, 6), patch_count=5, rng=seed)
+        total = 0.0
+        for ca in sem.categories:
+            for cb in sem.categories:
+                total += semantic_sequence_count(fm, sem, [ca, cb])
+        assert total == pytest.approx(fm.total)
+
+
+# ----------------------------------------------------------------------
+# OD construction
+# ----------------------------------------------------------------------
+class TestODProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(10, 200),   # trips
+        st.integers(0, 2),      # stops
+        st.integers(2, 6),      # resolution
+        st.integers(0, 2**31),
+    )
+    def test_total_always_preserved(self, n, stops, g, seed):
+        from repro.trajectories import (
+            ODMatrixBuilder, SpatialGrid, TrajectoryDataset,
+        )
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0.0, 9.99, size=(n, stops + 2, 2))
+        ds = TrajectoryDataset(pts)
+        grid = SpatialGrid(100, 100, 0.0, 10.0, 0.0, 10.0)
+        fm = ODMatrixBuilder(grid, resolution=g, cell_budget=10**7).build(ds)
+        assert fm.total == n
+        assert fm.ndim == 2 * (stops + 2)

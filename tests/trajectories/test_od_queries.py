@@ -1,0 +1,119 @@
+"""Tests for repro.trajectories.queries — analyst-facing OD queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.methods import Identity
+from repro.trajectories import (
+    SpatialGrid,
+    TrajectoryDataset,
+    circle_region,
+    classical_od_matrix,
+    exposure_count,
+    flow_between,
+    flow_via,
+    od_matrix_with_stops,
+    visits_through,
+)
+
+
+@pytest.fixture
+def grid():
+    return SpatialGrid(100, 100, 0.0, 10.0, 0.0, 10.0)
+
+
+@pytest.fixture
+def od4(grid):
+    # Two clusters: A around (2, 2), B around (8, 8); all trips A -> B.
+    rng = np.random.default_rng(0)
+    origins = rng.normal(2.0, 0.3, size=(400, 2)).clip(0, 9.99)
+    dests = rng.normal(8.0, 0.3, size=(400, 2)).clip(0, 9.99)
+    pts = np.stack([origins, dests], axis=1)
+    return classical_od_matrix(TrajectoryDataset(pts), grid, resolution=10)
+
+
+class TestCircleRegion:
+    def test_bounding_box(self):
+        region = circle_region((5.0, 5.0), 1.0)
+        assert region == ((4.0, 6.0), (4.0, 6.0))
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(QueryError):
+            circle_region((0.0, 0.0), 0.0)
+
+
+class TestFlowQueries:
+    def test_flow_between_captures_all(self, od4):
+        a = circle_region((2.0, 2.0), 1.5)
+        b = circle_region((8.0, 8.0), 1.5)
+        assert flow_between(od4, a, b) == pytest.approx(400.0)
+
+    def test_flow_reverse_direction_empty(self, od4):
+        a = circle_region((2.0, 2.0), 1.5)
+        b = circle_region((8.0, 8.0), 1.5)
+        assert flow_between(od4, b, a) == pytest.approx(0.0)
+
+    def test_visits_through_origin_frame(self, od4):
+        a = circle_region((2.0, 2.0), 1.5)
+        assert visits_through(od4, a, frame=0) == pytest.approx(400.0)
+
+    def test_visits_through_dest_frame(self, od4):
+        b = circle_region((8.0, 8.0), 1.5)
+        assert visits_through(od4, b, frame=-1) == pytest.approx(400.0)
+
+    def test_disjoint_regions_raise_when_impossible(self, od4):
+        a = circle_region((2.0, 2.0), 0.5)
+        far = circle_region((2.0, 2.0), 0.4)
+        # Same frame, intersect fine; flow_between uses different frames,
+        # so no QueryError expected here — this checks the happy path.
+        assert flow_between(od4, a, far) >= 0.0
+
+    def test_works_on_private_matrix(self, od4):
+        private = Identity().sanitize(od4, 5.0, rng=0)
+        a = circle_region((2.0, 2.0), 1.5)
+        b = circle_region((8.0, 8.0), 1.5)
+        noisy = flow_between(private, a, b)
+        assert noisy == pytest.approx(400.0, abs=100.0)
+
+    def test_odd_dimension_count_rejected(self, grid):
+        from repro.core import FrequencyMatrix
+        fm = FrequencyMatrix(np.ones((4, 4, 4)))
+        with pytest.raises(QueryError):
+            visits_through(fm, ((0.0, 1.0), (0.0, 1.0)), 0)
+
+
+class TestStopQueries:
+    @pytest.fixture
+    def od6(self, grid):
+        # A -> S -> B with the stop near (5, 5).
+        rng = np.random.default_rng(1)
+        origins = rng.normal(2.0, 0.3, size=(300, 2)).clip(0, 9.99)
+        stops = rng.normal(5.0, 0.3, size=(300, 2)).clip(0, 9.99)
+        dests = rng.normal(8.0, 0.3, size=(300, 2)).clip(0, 9.99)
+        pts = np.stack([origins, stops, dests], axis=1)
+        return od_matrix_with_stops(TrajectoryDataset(pts), grid, resolution=8)
+
+    def test_flow_via_stop(self, od6):
+        a = circle_region((2.0, 2.0), 1.5)
+        s = circle_region((5.0, 5.0), 1.5)
+        b = circle_region((8.0, 8.0), 1.5)
+        assert flow_via(od6, a, b, s) == pytest.approx(300.0)
+
+    def test_flow_via_wrong_stop_region_empty(self, od6):
+        a = circle_region((2.0, 2.0), 1.5)
+        wrong = circle_region((9.0, 1.0), 1.0)
+        b = circle_region((8.0, 8.0), 1.5)
+        assert flow_via(od6, a, b, wrong) == pytest.approx(0.0)
+
+    def test_exposure_count_multi_constraint(self, od6):
+        s = circle_region((5.0, 5.0), 1.5)
+        b = circle_region((8.0, 8.0), 1.5)
+        count = exposure_count(od6, [s, b], [1, 2])
+        assert count == pytest.approx(300.0)
+
+    def test_exposure_count_validates(self, od6):
+        with pytest.raises(QueryError):
+            exposure_count(od6, [], [])
+        with pytest.raises(QueryError):
+            exposure_count(od6, [circle_region((1, 1), 1)], [0, 1])

@@ -1,0 +1,154 @@
+"""Tests for the semantic-query extension (paper Section 7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError, ValidationError
+from repro.methods import Identity
+from repro.trajectories import (
+    DEFAULT_CATEGORIES,
+    SemanticMap,
+    SpatialGrid,
+    TrajectoryDataset,
+    od_matrix_with_stops,
+    semantic_sequence_count,
+    semantic_transition_matrix,
+)
+
+
+@pytest.fixture
+def grid():
+    return SpatialGrid(8, 8, 0.0, 8.0, 0.0, 8.0)
+
+
+@pytest.fixture
+def halves_map():
+    """Left half 'residential', right half 'workplace' on an 8x8 grid."""
+    labels = np.zeros((8, 8), dtype=np.int32)
+    labels[4:, :] = 1
+    return SemanticMap(labels, ("residential", "workplace"))
+
+
+@pytest.fixture
+def od4(grid):
+    # 100 trips: left half -> right half (in x).
+    rng = np.random.default_rng(0)
+    origins = np.stack(
+        [rng.uniform(0, 3.9, 100), rng.uniform(0, 7.9, 100)], axis=1
+    )
+    dests = np.stack(
+        [rng.uniform(4.1, 7.9, 100), rng.uniform(0, 7.9, 100)], axis=1
+    )
+    ds = TrajectoryDataset(np.stack([origins, dests], axis=1))
+    from repro.trajectories import classical_od_matrix
+    return classical_od_matrix(ds, grid, resolution=8)
+
+
+class TestSemanticMap:
+    def test_construction(self, halves_map):
+        assert halves_map.shape == (8, 8)
+        assert halves_map.categories == ("residential", "workplace")
+
+    def test_mask(self, halves_map):
+        assert halves_map.mask("residential").sum() == 32
+        assert halves_map.mask("workplace").sum() == 32
+
+    def test_category_fraction(self, halves_map):
+        assert halves_map.category_fraction("residential") == 0.5
+
+    def test_unknown_category(self, halves_map):
+        with pytest.raises(QueryError):
+            halves_map.mask("casino")
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValidationError):
+            SemanticMap(np.array([[0, 5]]), ("a", "b"))
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValidationError):
+            SemanticMap(np.zeros((2, 2), dtype=int), ("a", "a"))
+
+    def test_coarsen_majority_vote(self, halves_map):
+        coarse = halves_map.coarsen(2, 2)
+        assert coarse.labels[0, 0] == 0  # left = residential
+        assert coarse.labels[1, 1] == 1  # right = workplace
+
+    def test_coarsen_rejects_refine(self, halves_map):
+        with pytest.raises(ValidationError):
+            halves_map.coarsen(16, 16)
+
+    def test_random_map_properties(self, rng):
+        grid = SpatialGrid(32, 32)
+        sem = SemanticMap.random(grid, rng=rng)
+        assert sem.shape == (32, 32)
+        assert sem.categories == DEFAULT_CATEGORIES
+        # Voronoi patches are contiguous: at least 2 categories appear.
+        assert len(np.unique(sem.labels)) >= 2
+
+    def test_random_map_reproducible(self):
+        grid = SpatialGrid(16, 16)
+        a = SemanticMap.random(grid, rng=4)
+        b = SemanticMap.random(grid, rng=4)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_patch_count_validated(self):
+        with pytest.raises(ValidationError):
+            SemanticMap.random(SpatialGrid(8, 8), patch_count=0)
+
+
+class TestSequenceCount:
+    def test_counts_matching_trips(self, od4, halves_map):
+        count = semantic_sequence_count(
+            od4, halves_map, ["residential", "workplace"]
+        )
+        assert count == pytest.approx(100.0)
+
+    def test_reverse_sequence_empty(self, od4, halves_map):
+        count = semantic_sequence_count(
+            od4, halves_map, ["workplace", "residential"]
+        )
+        assert count == pytest.approx(0.0)
+
+    def test_sequence_length_validated(self, od4, halves_map):
+        with pytest.raises(QueryError):
+            semantic_sequence_count(od4, halves_map, ["residential"])
+
+    def test_private_matrix_supported(self, od4, halves_map):
+        private = Identity().sanitize(od4, 5.0, rng=0)
+        noisy = semantic_sequence_count(
+            private, halves_map, ["residential", "workplace"]
+        )
+        assert noisy == pytest.approx(100.0, abs=60.0)
+
+    def test_map_coarsened_automatically(self, od4):
+        fine = SemanticMap(
+            np.repeat(np.repeat(np.array([[0] * 8 + [1] * 8] * 16).T, 1, 0), 1, 1),
+            ("residential", "workplace"),
+        )
+        # A 16x16 map against an 8x8-per-frame matrix coarsens internally.
+        count = semantic_sequence_count(
+            od4, fine, ["residential", "workplace"]
+        )
+        assert count == pytest.approx(100.0)
+
+
+class TestTransitionMatrix:
+    def test_flows_by_category(self, od4, halves_map):
+        flows = semantic_transition_matrix(od4, halves_map)
+        assert flows[("residential", "workplace")] == pytest.approx(100.0)
+        assert flows[("workplace", "residential")] == pytest.approx(0.0)
+
+    def test_total_preserved(self, od4, halves_map):
+        flows = semantic_transition_matrix(od4, halves_map)
+        assert sum(flows.values()) == pytest.approx(od4.total)
+
+    def test_same_frame_rejected(self, od4, halves_map):
+        with pytest.raises(QueryError):
+            semantic_transition_matrix(od4, halves_map, frames=(0, 0))
+
+    def test_works_with_stops(self, grid, halves_map, rng):
+        pts = rng.uniform(0, 7.9, size=(50, 3, 2))
+        ds = TrajectoryDataset(pts)
+        od6 = od_matrix_with_stops(ds, grid, resolution=4)
+        flows = semantic_transition_matrix(od6, halves_map, frames=(0, -1))
+        assert sum(flows.values()) == pytest.approx(50.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.trajectories.grid."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.trajectories import SpatialGrid
+
+
+class TestSpatialGrid:
+    def test_city_factory(self):
+        g = SpatialGrid.city(1000, 70.0)
+        assert g.shape == (1000, 1000)
+        assert g.cell_width == pytest.approx(0.07)
+        assert g.cell_height == pytest.approx(0.07)
+
+    def test_rejects_empty_extent(self):
+        with pytest.raises(ValidationError):
+            SpatialGrid(10, 10, 0.0, 0.0, 0.0, 1.0)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValidationError):
+            SpatialGrid(0, 10)
+
+    def test_to_cells_basic(self):
+        g = SpatialGrid(10, 10, 0.0, 10.0, 0.0, 10.0)
+        cells = g.to_cells(np.array([[0.5, 9.5], [3.2, 0.1]]))
+        assert cells.tolist() == [[0, 9], [3, 0]]
+
+    def test_to_cells_clips(self):
+        g = SpatialGrid(10, 10, 0.0, 10.0, 0.0, 10.0)
+        cells = g.to_cells(np.array([[-5.0, 15.0]]))
+        assert cells.tolist() == [[0, 9]]
+
+    def test_to_cells_shape_check(self):
+        g = SpatialGrid(10, 10)
+        with pytest.raises(ValidationError):
+            g.to_cells(np.zeros((3, 3)))
+
+    def test_cell_center(self):
+        g = SpatialGrid(10, 10, 0.0, 10.0, 0.0, 20.0)
+        assert g.cell_center(0, 0) == (pytest.approx(0.5), pytest.approx(1.0))
+
+    def test_cell_center_range_check(self):
+        with pytest.raises(ValidationError):
+            SpatialGrid(10, 10).cell_center(10, 0)
+
+    def test_domain_roundtrip(self):
+        g = SpatialGrid(100, 100, 0.0, 70.0, 0.0, 70.0)
+        dom = g.domain()
+        assert dom.shape == (100, 100)
+        assert dom.point_to_cell((35.0, 0.5)) == (50, 0)
+
+    def test_coarsen(self):
+        g = SpatialGrid.city(1000)
+        c = g.coarsen(10, 10)
+        assert c.shape == (10, 10)
+        assert c.x_max == g.x_max
+
+    def test_coarsen_rejects_refine(self):
+        with pytest.raises(ValidationError):
+            SpatialGrid(10, 10).coarsen(20, 10)
+
+    def test_sample_cell_points_land_in_cells(self, rng):
+        g = SpatialGrid(10, 10, 0.0, 10.0, 0.0, 10.0)
+        cells = rng.integers(0, 10, size=(100, 2))
+        pts = g.sample_cell_points(cells, rng)
+        back = g.to_cells(pts)
+        assert np.array_equal(back, cells)

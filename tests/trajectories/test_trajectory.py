@@ -1,0 +1,122 @@
+"""Tests for repro.trajectories.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.core import ValidationError
+from repro.trajectories import Trajectory, TrajectoryDataset
+
+
+class TestTrajectory:
+    def test_basic(self):
+        t = Trajectory(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]]))
+        assert t.origin == (0.0, 0.0)
+        assert t.destination == (2.0, 0.0)
+        assert t.n_points == 3
+        assert t.n_stops == 1
+        assert t.stops.shape == (1, 2)
+
+    def test_no_stops(self):
+        t = Trajectory(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert t.n_stops == 0
+        assert t.length() == pytest.approx(5.0)
+
+    def test_length_sums_segments(self):
+        t = Trajectory(np.array([[0.0, 0.0], [3.0, 4.0], [3.0, 10.0]]))
+        assert t.length() == pytest.approx(11.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValidationError):
+            Trajectory(np.array([[0.0, 0.0]]))
+
+    def test_rejects_3d_points(self):
+        with pytest.raises(ValidationError):
+            Trajectory(np.zeros((3, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            Trajectory(np.array([[0.0, np.nan], [1.0, 1.0]]))
+
+
+class TestTrajectoryDataset:
+    def make(self, n=10, k=4, seed=0):
+        rng = np.random.default_rng(seed)
+        return TrajectoryDataset(rng.random((n, k, 2)) * 10)
+
+    def test_shape_properties(self):
+        ds = self.make(n=7, k=5)
+        assert ds.n_trajectories == 7
+        assert ds.n_points_each == 5
+        assert ds.n_stops_each == 3
+        assert len(ds) == 7
+
+    def test_indexing_returns_trajectory(self):
+        ds = self.make()
+        t = ds[0]
+        assert isinstance(t, Trajectory)
+        assert t.n_points == 4
+
+    def test_iteration(self):
+        ds = self.make(n=3)
+        assert sum(1 for _ in ds) == 3
+
+    def test_origins_destinations(self):
+        ds = self.make()
+        assert np.array_equal(ds.origins, ds.points[:, 0, :])
+        assert np.array_equal(ds.destinations, ds.points[:, -1, :])
+
+    def test_recorded_points_all(self):
+        ds = self.make()
+        assert np.array_equal(ds.recorded_points(), ds.points)
+
+    def test_recorded_points_selection(self):
+        ds = self.make(k=4)
+        sel = ds.recorded_points([0, 3])
+        assert sel.shape == (10, 2, 2)
+        assert np.array_equal(sel[:, 0], ds.origins)
+        assert np.array_equal(sel[:, 1], ds.destinations)
+
+    def test_recorded_points_range_check(self):
+        ds = self.make(k=4)
+        with pytest.raises(ValidationError):
+            ds.recorded_points([4])
+
+    def test_subset(self):
+        ds = self.make(n=10)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert sub.n_trajectories == 3
+        assert np.array_equal(sub.points[1], ds.points[2])
+
+    def test_lengths_vectorized(self):
+        ds = self.make(n=5)
+        lengths = ds.lengths()
+        assert lengths.shape == (5,)
+        assert lengths[0] == pytest.approx(ds[0].length())
+
+    def test_from_trajectories(self):
+        ts = [
+            Trajectory(np.array([[0.0, 0.0], [1.0, 1.0]])),
+            Trajectory(np.array([[2.0, 2.0], [3.0, 3.0]])),
+        ]
+        ds = TrajectoryDataset.from_trajectories(ts)
+        assert ds.n_trajectories == 2
+
+    def test_from_trajectories_mixed_lengths_rejected(self):
+        ts = [
+            Trajectory(np.array([[0.0, 0.0], [1.0, 1.0]])),
+            Trajectory(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])),
+        ]
+        with pytest.raises(ValidationError):
+            TrajectoryDataset.from_trajectories(ts)
+
+    def test_from_trajectories_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TrajectoryDataset.from_trajectories([])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            TrajectoryDataset(np.zeros((5, 1, 2)))
+        with pytest.raises(ValidationError):
+            TrajectoryDataset(np.zeros((5, 3)))
+        with pytest.raises(ValidationError):
+            TrajectoryDataset(np.full((5, 3, 2), np.nan))

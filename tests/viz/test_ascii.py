@@ -1,0 +1,96 @@
+"""Tests for the ASCII visualization (Figure 3 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrequencyMatrix, ValidationError
+from repro.methods import DAFEntropy
+from repro.viz import (
+    DENSITY_CHARS,
+    ascii_heatmap,
+    ascii_partition_overlay,
+    downsample_2d,
+    render_grid_partitioning,
+)
+
+
+class TestDownsample:
+    def test_exact_pooling(self):
+        data = np.arange(16, dtype=float).reshape(4, 4)
+        pooled = downsample_2d(data, 2, 2)
+        assert pooled[0, 0] == pytest.approx(data[:2, :2].mean())
+        assert pooled.shape == (2, 2)
+
+    def test_no_upsampling(self):
+        pooled = downsample_2d(np.ones((3, 3)), 10, 10)
+        assert pooled.shape == (3, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            downsample_2d(np.ones(5), 2, 2)
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self, skewed_2d):
+        text = ascii_heatmap(skewed_2d, rows=10, cols=20)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_dense_region_darker(self, skewed_2d):
+        text = ascii_heatmap(skewed_2d, rows=8, cols=8)
+        lines = text.splitlines()
+        center_char = lines[4][4]
+        corner_char = lines[0][0]
+        assert DENSITY_CHARS.index(center_char) > DENSITY_CHARS.index(corner_char)
+
+    def test_empty_matrix_blank(self):
+        text = ascii_heatmap(FrequencyMatrix.zeros((8, 8)), rows=4, cols=4)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_accepts_raw_array(self):
+        assert ascii_heatmap(np.ones((4, 4)), rows=2, cols=2)
+
+    def test_rejects_3d(self, small_4d):
+        with pytest.raises(ValidationError):
+            ascii_heatmap(small_4d)
+
+
+class TestPartitionOverlay:
+    def test_overlay_contains_cut_lines(self, skewed_2d):
+        method = DAFEntropy()
+        private = method.sanitize(skewed_2d, 1.0, rng=0)
+        text = ascii_partition_overlay(
+            skewed_2d, private.metadata["split_tree"], rows=20, cols=40
+        )
+        assert "|" in text  # dimension-0 cuts
+        assert "-" in text or "+" in text  # dimension-1 cuts
+
+    def test_overlay_dimensions(self, skewed_2d):
+        private = DAFEntropy().sanitize(skewed_2d, 1.0, rng=0)
+        text = ascii_partition_overlay(
+            skewed_2d, private.metadata["split_tree"], rows=12, cols=24
+        )
+        lines = text.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 24 for line in lines)
+
+    def test_rejects_non_2d(self, small_4d):
+        private = DAFEntropy().sanitize(small_4d, 1.0, rng=0)
+        with pytest.raises(ValidationError):
+            ascii_partition_overlay(small_4d, private.metadata["split_tree"])
+
+
+class TestGridRendering:
+    def test_grid_lines_present(self):
+        text = render_grid_partitioning((100, 100), 4, rows=12, cols=24)
+        assert text.count("\n") == 11
+        assert "|" in text and "-" in text
+
+    def test_m_one_is_blank(self):
+        text = render_grid_partitioning((10, 10), 1, rows=4, cols=8)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            render_grid_partitioning((10, 10, 10), 2)
