@@ -1,0 +1,6 @@
+"""Figure/table benchmarks as a package.
+
+The ``__init__.py`` makes ``benchmarks`` importable so the relative
+``from .conftest import ...`` statements in the benchmark modules resolve
+under plain ``pytest`` collection from the repository root.
+"""

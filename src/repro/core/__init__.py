@@ -31,6 +31,12 @@ from .frequency_matrix import (
     full_box,
     validate_box,
 )
+from .packed import (
+    PackedPartitioning,
+    boxes_to_arrays,
+    packed_from_intervals,
+    validate_box_arrays,
+)
 from .partition import Partition, Partitioning, grid_boxes, split_interval
 from .prefix_sum import PrefixSumTable
 from .private_matrix import PrivateFrequencyMatrix
@@ -43,6 +49,7 @@ __all__ = [
     "Domain",
     "FrequencyMatrix",
     "MethodError",
+    "PackedPartitioning",
     "Partition",
     "Partitioning",
     "PartitioningError",
@@ -53,6 +60,7 @@ __all__ = [
     "SparseFrequencyMatrix",
     "ValidationError",
     "box_n_cells",
+    "boxes_to_arrays",
     "clip_nonnegative",
     "box_slices",
     "distribution_entropy",
@@ -61,6 +69,7 @@ __all__ = [
     "information_loss",
     "laplace_noise_entropy",
     "matrix_entropy",
+    "packed_from_intervals",
     "partition_entropy",
     "partitioned_entropy_approximation",
     "project_nonnegative_total",
@@ -68,4 +77,5 @@ __all__ = [
     "split_interval",
     "uniform_entropy_approximation",
     "validate_box",
+    "validate_box_arrays",
 ]

@@ -60,10 +60,21 @@ class PrefixSumTable:
         boxes = [validate_box(b, self._shape) for b in boxes]
         if not boxes:
             return np.zeros(0, dtype=np.float64)
-        ndim = len(self._shape)
-        n = len(boxes)
         lows = np.array([[lo for lo, _ in b] for b in boxes], dtype=np.int64)
         highs = np.array([[hi for _, hi in b] for b in boxes], dtype=np.int64)
+        return self.query_arrays(lows, highs)
+
+    def query_arrays(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """:meth:`query_many` for pre-validated ``(n, d)`` bound arrays.
+
+        Skips per-box Python validation/conversion entirely, so repeated
+        workload evaluations against cached arrays pay only the ``2^d``
+        gather passes.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        ndim = len(self._shape)
+        n = lows.shape[0]
         out = np.zeros(n, dtype=np.float64)
         for choice in product((0, 1), repeat=ndim):
             pick = np.array(choice, dtype=bool)

@@ -4,16 +4,33 @@ A :class:`PrivateFrequencyMatrix` is exactly what Section 2.2 publishes: the
 boundaries of all partitions plus their noisy counts.  Range queries are
 answered under the per-partition uniformity assumption.
 
-Two storage backends are supported:
+Three storage backends are supported:
 
-* **partition-backed** — an explicit :class:`~repro.core.partition.Partitioning`
-  (grid and tree methods).  Queries use geometric overlap per partition, or
-  a dense prefix-sum reconstruction for large workloads; both give identical
-  answers (asserted by the test suite).
+* **packed** — a :class:`~repro.core.packed.PackedPartitioning` of
+  contiguous ``lo``/``hi``/count arrays (what the grid, tree and DAF
+  sanitizers emit).  Batches of queries are answered by the vectorized
+  broadcast kernel; :class:`~repro.core.partition.Partition` objects are
+  materialized lazily, only when per-partition iteration or object-level
+  serialization is requested.  (Exact-cover validation runs where it
+  always did: on externally supplied partitionings —
+  :meth:`PrivateFrequencyMatrix.from_publishable` and explicit
+  ``validate=True`` constructions — not on sanitizer-built tilings.)
+* **partition-backed** — an explicit
+  :class:`~repro.core.partition.Partitioning` (externally constructed or
+  deserialized outputs).  Packed arrays are derived lazily for querying.
 * **dense-backed** — a noisy per-cell array (the IDENTITY baseline and the
   Privlet wavelet method publish one value per cell; materializing one
   :class:`Partition` object per cell would be wasteful).  Conceptually this
   is the partitioning into singleton cells.
+
+Batch answering (:meth:`PrivateFrequencyMatrix.answer_many`) picks between
+two engines with a cost model: the geometric kernel does
+``O(q × k × d)`` work, while reconstructing the dense matrix and building a
+prefix-sum table does ``O(cells)`` once and then ``O(2^d)`` per query — so
+when ``q × k`` exceeds a multiple of the cell count (and the matrix fits in
+memory) the dense route wins and is selected automatically.  The scalar
+:meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
+implementation; both engines are asserted against it by the test suite.
 """
 
 from __future__ import annotations
@@ -25,14 +42,23 @@ import numpy as np
 from .domain import Domain
 from .exceptions import QueryError, ValidationError
 from .frequency_matrix import Box, FrequencyMatrix, box_slices, validate_box
+from .packed import PackedPartitioning, boxes_to_arrays, validate_box_arrays
 from .partition import Partition, Partitioning
 from .prefix_sum import PrefixSumTable
+
+#: Matrices larger than this are never densified for querying.
+DENSE_SWITCH_MAX_CELLS = 50_000_000
+
+#: The dense prefix-sum engine is used when ``n_queries * n_partitions``
+#: exceeds this multiple of the cell count.
+DENSE_SWITCH_FACTOR = 4
 
 
 class PrivateFrequencyMatrix:
     """Partition boundaries + noisy counts, with uniform query answering.
 
-    Construct either with a ``partitioning`` or via :meth:`from_dense_noisy`.
+    Construct with a ``partitioning``, via :meth:`from_packed`, or via
+    :meth:`from_dense_noisy`.
 
     Parameters
     ----------
@@ -49,8 +75,8 @@ class PrivateFrequencyMatrix:
         budget split, ...).  Must not contain raw data.
     """
 
-    __slots__ = ("_partitioning", "_domain", "_epsilon", "_method", "_metadata",
-                 "_dense_cache", "_prefix_cache", "_shape")
+    __slots__ = ("_partitioning", "_packed", "_domain", "_epsilon", "_method",
+                 "_metadata", "_dense_cache", "_prefix_cache", "_shape")
 
     def __init__(
         self,
@@ -65,7 +91,32 @@ class PrivateFrequencyMatrix:
             raise ValidationError("partitioning must be a Partitioning")
         self._init_common(partitioning.shape, domain, epsilon, method, metadata)
         self._partitioning: Partitioning | None = partitioning
+        self._packed: PackedPartitioning | None = None
         self._dense_cache: np.ndarray | None = None
+
+    @classmethod
+    def from_packed(
+        cls,
+        packed: PackedPartitioning,
+        domain: Domain | None = None,
+        *,
+        epsilon: float = 0.0,
+        method: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ) -> "PrivateFrequencyMatrix":
+        """Build a packed-backed private matrix (the sanitizers' fast path).
+
+        Partition objects are materialized lazily, only when
+        :attr:`partitioning` is accessed.
+        """
+        if not isinstance(packed, PackedPartitioning):
+            raise ValidationError("packed must be a PackedPartitioning")
+        self = cls.__new__(cls)
+        self._init_common(packed.shape, domain, epsilon, method, metadata)
+        self._partitioning = None
+        self._packed = packed
+        self._dense_cache = None
+        return self
 
     @classmethod
     def from_dense_noisy(
@@ -86,6 +137,7 @@ class PrivateFrequencyMatrix:
         self = cls.__new__(cls)
         self._init_common(noisy.shape, domain, epsilon, method, metadata)
         self._partitioning = None
+        self._packed = None
         self._dense_cache = noisy.copy()
         return self
 
@@ -116,17 +168,37 @@ class PrivateFrequencyMatrix:
     @property
     def is_dense_backed(self) -> bool:
         """True when the output is per-cell noisy counts (no partition list)."""
-        return self._partitioning is None
+        return self._partitioning is None and self._packed is None
 
     @property
     def partitioning(self) -> Partitioning:
-        """The partition list (raises for dense-backed outputs)."""
+        """The partition list (raises for dense-backed outputs).
+
+        For packed-backed outputs the :class:`Partition` objects are
+        materialized on first access (without re-validating the tiling —
+        same contract as the sanitizers' ``validate=False``
+        constructions); querying never needs them.
+        """
         if self._partitioning is None:
-            raise QueryError(
-                "this private matrix is dense-backed (per-cell counts); "
-                "it has no explicit partition list"
-            )
+            if self._packed is None:
+                raise QueryError(
+                    "this private matrix is dense-backed (per-cell counts); "
+                    "it has no explicit partition list"
+                )
+            self._partitioning = self._packed.to_partitioning(validate=False)
         return self._partitioning
+
+    @property
+    def packed(self) -> PackedPartitioning:
+        """Array-backed view of the partitioning (raises for dense-backed)."""
+        if self._packed is None:
+            if self._partitioning is None:
+                raise QueryError(
+                    "this private matrix is dense-backed (per-cell counts); "
+                    "it has no explicit partition list"
+                )
+            self._packed = PackedPartitioning.from_partitioning(self._partitioning)
+        return self._packed
 
     @property
     def partitions(self) -> Tuple[Partition, ...]:
@@ -159,9 +231,11 @@ class PrivateFrequencyMatrix:
     @property
     def n_partitions(self) -> int:
         """Number of published regions (cells, for dense-backed outputs)."""
-        if self._partitioning is None:
-            return int(np.prod(self._shape, dtype=np.int64))
-        return len(self._partitioning)
+        if self._packed is not None:
+            return self._packed.n_partitions
+        if self._partitioning is not None:
+            return len(self._partitioning)
+        return int(np.prod(self._shape, dtype=np.int64))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -173,29 +247,52 @@ class PrivateFrequencyMatrix:
     # Query answering
     # ------------------------------------------------------------------
     def answer(self, box: Box) -> float:
-        """Answer an inclusive cell-index range query (uniformity assumption)."""
+        """Answer an inclusive cell-index range query (uniformity assumption).
+
+        This is the scalar *reference* implementation: a Python loop over
+        partitions.  Batches should go through :meth:`answer_many`, which
+        computes identical values vectorized.
+        """
         box = validate_box(box, self.shape)
-        if self._partitioning is None:
+        if self.is_dense_backed:
             return float(self.dense_array()[box_slices(box)].sum())
-        return float(sum(p.uniform_answer(box) for p in self._partitioning))
+        return float(sum(p.uniform_answer(box) for p in self.partitioning))
 
     def answer_many(self, boxes: Sequence[Box]) -> np.ndarray:
-        """Answer a workload of box queries.
+        """Answer a workload of box queries, vectorized.
 
-        Uses the dense prefix-sum engine when the matrix fits in memory and
-        the workload is large; otherwise answers per-partition.
+        Boxes are validated once up front (not per partition per query),
+        then routed to one of two engines by the cost model described in
+        the module docstring: the packed broadcast kernel, or a dense
+        prefix-sum reconstruction when ``n_queries × n_partitions`` would
+        dwarf the cell count.
         """
         boxes = list(boxes)
         if not boxes:
             return np.zeros(0, dtype=np.float64)
+        lows, highs = boxes_to_arrays(boxes)
+        return self.answer_arrays(lows, highs)
+
+    def answer_arrays(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """:meth:`answer_many` for ``(q, d)`` bound arrays.
+
+        The workload evaluator calls this directly with cached arrays so
+        repeated evaluations skip box-list conversion entirely.  Bounds
+        are still checked — vectorized, one pass over the batch rather
+        than per partition per query.
+        """
+        n_queries = int(np.asarray(lows).shape[0])
+        if n_queries == 0:
+            return np.zeros(0, dtype=np.float64)
+        lows, highs = validate_box_arrays(lows, highs, self.shape)
         n_cells = int(np.prod(self.shape, dtype=np.int64))
-        use_dense = self._partitioning is None or (
-            n_cells <= 50_000_000
-            and len(boxes) * self.n_partitions > 4 * n_cells
+        use_dense = self.is_dense_backed or (
+            n_cells <= DENSE_SWITCH_MAX_CELLS
+            and n_queries * self.n_partitions > DENSE_SWITCH_FACTOR * n_cells
         )
         if use_dense:
-            return self._prefix_table().query_many(boxes)
-        return np.array([self.answer(b) for b in boxes], dtype=np.float64)
+            return self._prefix_table().query_arrays(lows, highs)
+        return self.packed.answer_many_arrays(lows, highs)
 
     def answer_continuous(
         self, lows: Sequence[float], highs: Sequence[float]
@@ -218,10 +315,7 @@ class PrivateFrequencyMatrix:
         """The signed dense reconstruction: each cell holds its partition's
         noisy count divided by the partition's cell count."""
         if self._dense_cache is None:
-            out = np.zeros(self.shape, dtype=np.float64)
-            for p in self._partitioning:  # type: ignore[union-attr]
-                out[box_slices(p.box)] = p.noisy_count / p.n_cells
-            self._dense_cache = out
+            self._dense_cache = self.packed.dense_array()
         return self._dense_cache
 
     def _prefix_table(self) -> PrefixSumTable:
@@ -236,7 +330,9 @@ class PrivateFrequencyMatrix:
         """The DP-safe payload: boxes, noisy counts, method, epsilon.
 
         True counts are intentionally omitted.  Dense-backed outputs publish
-        the flattened per-cell noisy counts.
+        the flattened per-cell noisy counts.  Packed-backed outputs
+        serialize straight from the arrays without materializing
+        :class:`Partition` objects.
         """
         payload: Dict[str, object] = {
             "method": self._method,
@@ -244,12 +340,18 @@ class PrivateFrequencyMatrix:
             "shape": list(self.shape),
             "metadata": dict(self._metadata),
         }
-        if self._partitioning is None:
+        if self.is_dense_backed:
             payload["cells"] = self.dense_array().ravel().tolist()
         else:
+            packed = self.packed
+            lo, hi = packed.lo, packed.hi
+            noisy = packed.noisy_counts
             payload["partitions"] = [
-                {"box": [list(r) for r in p.box], "noisy_count": p.noisy_count}
-                for p in self._partitioning
+                {
+                    "box": [[int(l), int(h)] for l, h in zip(lo[i], hi[i])],
+                    "noisy_count": float(noisy[i]),
+                }
+                for i in range(packed.n_partitions)
             ]
         return payload
 

@@ -1,8 +1,13 @@
 """The experiment runner: methods x budgets x workloads -> result rows.
 
 One :class:`ResultRow` per (method, epsilon, workload, trial) carrying the
-accuracy report and the sanitization wall-clock (Table 3's metric).  Rows
-are plain data; :mod:`repro.experiments.reporting` renders them.
+accuracy report and two per-phase wall-clocks: sanitization (Table 3's
+metric) and query answering.  Each sanitized matrix is evaluated against
+*all* workloads in a single vectorized pass
+(:meth:`~repro.queries.WorkloadEvaluator.evaluate_all`), so the query
+phase costs one batched engine invocation per trial instead of one Python
+loop per (workload, query, partition).  Rows are plain data;
+:mod:`repro.experiments.reporting` renders them.
 """
 
 from __future__ import annotations
@@ -34,6 +39,10 @@ class ResultRow:
     sanitize_seconds: float
     n_partitions: int
     extra: Dict[str, object]
+    #: Wall-clock of the batched query phase for this trial (all workloads
+    #: answered together; the same value is recorded on each of the trial's
+    #: rows).
+    query_seconds: float = 0.0
 
     @property
     def mre(self) -> float:
@@ -46,6 +55,7 @@ class ResultRow:
             "workload": self.workload,
             "trial": self.trial,
             "sanitize_seconds": self.sanitize_seconds,
+            "query_seconds": self.query_seconds,
             "n_partitions": self.n_partitions,
         }
         out.update(self.report.as_dict())
@@ -65,7 +75,10 @@ def run_methods(
     """Evaluate every (method, epsilon) pair on every workload.
 
     Each trial re-runs sanitization with an independent child generator;
-    the ground truth is computed once and cached.
+    the ground truth is computed once and cached.  Per trial, all
+    workloads are answered in one batched
+    :meth:`~repro.queries.WorkloadEvaluator.evaluate_all` call, and the
+    sanitize and query phases are timed separately.
     """
     gen = ensure_rng(rng)
     evaluator = WorkloadEvaluator(matrix)
@@ -77,19 +90,22 @@ def run_methods(
                 sanitizer = get_sanitizer(spec.name, **spec.as_kwargs())
                 start = time.perf_counter()
                 private = sanitizer.sanitize(matrix, epsilon, child)
-                elapsed = time.perf_counter() - start
-                for workload in workloads:
-                    result = evaluator.evaluate(private, workload)
+                sanitize_elapsed = time.perf_counter() - start
+                start = time.perf_counter()
+                results = evaluator.evaluate_all(private, workloads)
+                query_elapsed = time.perf_counter() - start
+                for result in results:
                     rows.append(
                         ResultRow(
                             method=spec.label,
                             epsilon=float(epsilon),
-                            workload=workload.name,
+                            workload=result.workload,
                             trial=trial,
                             report=result.report,
-                            sanitize_seconds=elapsed,
+                            sanitize_seconds=sanitize_elapsed,
                             n_partitions=private.n_partitions,
                             extra=extra,
+                            query_seconds=query_elapsed,
                         )
                     )
     return rows
@@ -119,6 +135,9 @@ def aggregate_rows(
         entry["mre_std"] = float(np.std([m.mre for m in members]))
         entry["sanitize_seconds"] = float(
             np.mean([m.sanitize_seconds for m in members])
+        )
+        entry["query_seconds"] = float(
+            np.mean([m.query_seconds for m in members])
         )
         entry["n_partitions"] = float(
             np.mean([m.n_partitions for m in members])

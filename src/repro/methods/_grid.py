@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence, Tuple  # noqa: F401 (Tuple in annotatio
 import numpy as np
 
 from ..core.frequency_matrix import FrequencyMatrix
-from ..core.partition import Partition, Partitioning, grid_boxes
+from ..core.packed import packed_from_intervals
 from ..core.private_matrix import PrivateFrequencyMatrix
 from ..dp.budget import BudgetLedger
 from ..dp.mechanisms import laplace_noise
@@ -33,6 +33,13 @@ def axis_cut_starts(size: int, m: int) -> np.ndarray:
     cuts = np.linspace(0, size, m + 1).astype(np.int64)
     starts = np.unique(cuts[:-1])
     return starts
+
+
+def axis_intervals(size: int, m: int) -> List[Tuple[int, int]]:
+    """The inclusive ``(lo, hi)`` intervals behind :func:`axis_cut_starts`."""
+    starts = axis_cut_starts(size, m)
+    ends = np.append(starts[1:], size)
+    return [(int(lo), int(hi - 1)) for lo, hi in zip(starts, ends)]
 
 
 def aggregate_uniform_grid(
@@ -75,6 +82,11 @@ def sanitize_uniform_grid(
     (the behaviour the paper observes for MKM).  Very fine grids (beyond
     :data:`DENSE_OUTPUT_THRESHOLD` partitions) are published dense-backed:
     identical answers, no per-partition object overhead.
+
+    The output is packed (array-backed): the per-dimension intervals and
+    the raveled aggregate feed
+    :func:`~repro.core.packed.packed_from_intervals` directly, so no
+    per-partition Python objects are built on the sanitization path.
     """
     shape = matrix.shape
     m_per_dim = [max(1, min(int(m), s)) for s in shape]
@@ -98,19 +110,19 @@ def sanitize_uniform_grid(
             metadata=meta,
         )
 
-    boxes = grid_boxes(shape, m_per_dim)
-    true_counts = agg.ravel()
-    if len(boxes) != true_counts.size:
-        raise AssertionError(
-            f"grid bookkeeping mismatch: {len(boxes)} boxes vs "
-            f"{true_counts.size} aggregated counts"
-        )
-    partitions: List[Partition] = [
-        Partition(box, float(nc), float(c))
-        for box, c, nc in zip(boxes, true_counts, noisy.ravel())
+    intervals_per_dim = [
+        axis_intervals(size, mi) for size, mi in zip(shape, m_per_dim)
     ]
-    return PrivateFrequencyMatrix(
-        Partitioning(partitions, shape, validate=False),
+    packed = packed_from_intervals(
+        intervals_per_dim, noisy.ravel(), shape, true_counts=agg.ravel()
+    )
+    if packed.n_partitions != n_partitions:
+        raise AssertionError(
+            f"grid bookkeeping mismatch: {packed.n_partitions} boxes vs "
+            f"{n_partitions} aggregated counts"
+        )
+    return PrivateFrequencyMatrix.from_packed(
+        packed,
         matrix.domain,
         epsilon=ledger.epsilon_total,
         method=method,

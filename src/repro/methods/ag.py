@@ -13,13 +13,14 @@ uniformity constant at level 2.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..core.exceptions import MethodError
 from ..core.frequency_matrix import Box, FrequencyMatrix, box_slices
-from ..core.partition import Partition, Partitioning, grid_boxes
+from ..core.packed import PackedPartitioning, boxes_to_arrays
+from ..core.partition import grid_boxes
 from ..core.private_matrix import PrivateFrequencyMatrix
 from ..dp.budget import BudgetLedger
 from ..dp.mechanisms import laplace_noise
@@ -92,7 +93,9 @@ class AdaptiveGrid(Sanitizer):
         ledger.charge(eps1, scope="ag-level1", note=f"{len(level1_boxes)} cells")
         ledger.charge(eps2, scope="ag-level2", note="refined cells")
 
-        partitions: List[Partition] = []
+        boxes: List[Box] = []
+        noisy_counts: List[float] = []
+        true_counts: List[float] = []
         n_refined = 0
         for box in level1_boxes:
             view = matrix.data[box_slices(box)]
@@ -102,26 +105,34 @@ class AdaptiveGrid(Sanitizer):
             if m2 <= 1 or noisy1 < self.min_refine_count:
                 # Publish the level-1 cell; fold the unused level-2 noise
                 # budget into nothing (the cell keeps its eps1 estimate).
-                partitions.append(Partition(box, noisy1, true1))
+                boxes.append(box)
+                noisy_counts.append(noisy1)
+                true_counts.append(true1)
                 continue
             n_refined += 1
-            partitions.extend(self._refine(matrix, box, m2, eps2, rng))
+            for sub, true2, noisy2 in self._refine(matrix, box, m2, eps2, rng):
+                boxes.append(sub)
+                noisy_counts.append(noisy2)
+                true_counts.append(true2)
 
+        lows, highs = boxes_to_arrays(boxes)
+        packed = PackedPartitioning(
+            lows,
+            highs,
+            np.array(noisy_counts, dtype=np.float64),
+            matrix.shape,
+            np.array(true_counts, dtype=np.float64),
+            validate=False,
+        )
         meta: Dict[str, object] = {
             "m1": m1,
             "n_hat": n_hat,
             "alpha": self.alpha,
             "n_level1_cells": len(level1_boxes),
             "n_refined": n_refined,
-            "n_partitions": len(partitions),
+            "n_partitions": packed.n_partitions,
         }
-        return PrivateFrequencyMatrix(
-            Partitioning(partitions, matrix.shape, validate=False),
-            matrix.domain,
-            epsilon=epsilon,
-            method=self.name,
-            metadata=meta,
-        )
+        return self.publish_packed(packed, matrix, ledger, metadata=meta)
 
     # ------------------------------------------------------------------
     def _level2_granularity(
@@ -140,20 +151,22 @@ class AdaptiveGrid(Sanitizer):
         m2: int,
         eps2: float,
         rng: np.random.Generator,
-    ) -> List[Partition]:
-        """Level-2 uniform grid inside one level-1 cell."""
+    ) -> List[Tuple[Box, float, float]]:
+        """Level-2 uniform grid inside one level-1 cell.
+
+        Returns ``(box, true_count, noisy_count)`` triples; the caller
+        packs them into arrays.
+        """
         widths = [hi - lo + 1 for lo, hi in box]
         inner = grid_boxes(tuple(widths), [m2] * len(widths))
-        out: List[Partition] = []
+        out: List[Tuple[Box, float, float]] = []
         for ib in inner:
             absolute = tuple(
                 (lo + ilo, lo + ihi)
                 for (lo, _), (ilo, ihi) in zip(box, ib)
             )
             true = float(matrix.data[box_slices(absolute)].sum())
-            out.append(
-                Partition(absolute, true + laplace_noise(1.0, eps2, rng), true)
-            )
+            out.append((absolute, true, true + laplace_noise(1.0, eps2, rng)))
         return out
 
     def describe(self):

@@ -14,10 +14,11 @@ total privacy budget and returns a
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Mapping
 
 from ..core.exceptions import MethodError, ValidationError
 from ..core.frequency_matrix import FrequencyMatrix
+from ..core.packed import PackedPartitioning
 from ..core.private_matrix import PrivateFrequencyMatrix
 from ..dp.budget import BudgetLedger
 from ..dp.rng import RNGLike, ensure_rng
@@ -66,6 +67,29 @@ class Sanitizer(abc.ABC):
         rng,
     ) -> PrivateFrequencyMatrix:
         """Method-specific sanitization; must charge ``ledger`` as it spends."""
+
+    # ------------------------------------------------------------------
+    def publish_packed(
+        self,
+        packed: PackedPartitioning,
+        matrix: FrequencyMatrix,
+        ledger: BudgetLedger,
+        metadata: Mapping[str, object] | None = None,
+    ) -> PrivateFrequencyMatrix:
+        """Wrap a packed partitioning as this method's published output.
+
+        Sanitizers emit contiguous arrays straight from their aggregation
+        step; :class:`~repro.core.partition.Partition` objects are only
+        materialized later, if a consumer iterates partitions or
+        validates an externally supplied tiling.
+        """
+        return PrivateFrequencyMatrix.from_packed(
+            packed,
+            matrix.domain,
+            epsilon=ledger.epsilon_total,
+            method=self.name,
+            metadata=metadata,
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:

@@ -29,7 +29,7 @@ import numpy as np
 
 from ...core.exceptions import MethodError
 from ...core.frequency_matrix import Box, FrequencyMatrix, box_slices, full_box
-from ...core.partition import Partition, Partitioning
+from ...core.packed import PackedPartitioning, boxes_to_arrays
 from ...core.private_matrix import PrivateFrequencyMatrix
 from ...dp.allocation import level_budget, root_budget, uniform_level_budgets
 from ...dp.budget import BudgetLedger
@@ -164,10 +164,15 @@ class DAFBase(Sanitizer):
             apply_boosting(root)
 
         leaves = list(root.iter_leaves())
-        partitions = [
-            Partition(leaf.box, leaf.ncount, leaf.count) for leaf in leaves
-        ]
-        partitioning = Partitioning(partitions, matrix.shape, validate=False)
+        lows, highs = boxes_to_arrays([leaf.box for leaf in leaves])
+        packed = PackedPartitioning(
+            lows,
+            highs,
+            np.array([leaf.ncount for leaf in leaves], dtype=np.float64),
+            matrix.shape,
+            np.array([leaf.count for leaf in leaves], dtype=np.float64),
+            validate=False,
+        )
         metadata: Dict[str, object] = {
             "m0": state.m0,
             "n_partitions": len(leaves),
@@ -175,8 +180,8 @@ class DAFBase(Sanitizer):
             "n_stopped_early": sum(1 for n in root.iter_nodes() if n.stopped_early),
             "split_tree": root.to_public_dict(),
         }
-        result = PrivateFrequencyMatrix(
-            partitioning,
+        result = PrivateFrequencyMatrix.from_packed(
+            packed,
             matrix.domain,
             epsilon=eps_tot,
             method=self.name,

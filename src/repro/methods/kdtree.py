@@ -17,7 +17,7 @@ import numpy as np
 
 from ..core.exceptions import MethodError
 from ..core.frequency_matrix import Box, FrequencyMatrix, box_slices, full_box
-from ..core.partition import Partition, Partitioning
+from ..core.packed import PackedPartitioning, boxes_to_arrays
 from ..core.private_matrix import PrivateFrequencyMatrix
 from ..dp.budget import BudgetLedger
 from ..dp.mechanisms import laplace_noise
@@ -116,21 +116,23 @@ class KDTree(Sanitizer):
             boxes = new_boxes
 
         ledger.charge(eps_leaf, scope="kd-leaves", note=f"{len(boxes)} leaves")
-        partitions = []
-        for box in boxes:
-            true = float(matrix.data[box_slices(box)].sum())
-            partitions.append(
-                Partition(box, true + laplace_noise(1.0, eps_leaf, rng), true)
-            )
-        return PrivateFrequencyMatrix(
-            Partitioning(partitions, matrix.shape, validate=False),
-            matrix.domain,
-            epsilon=epsilon,
-            method=self.name,
+        true = np.array(
+            [matrix.data[box_slices(box)].sum() for box in boxes],
+            dtype=np.float64,
+        )
+        noisy = true + laplace_noise(1.0, eps_leaf, rng, size=true.shape)
+        lows, highs = boxes_to_arrays(boxes)
+        packed = PackedPartitioning(
+            lows, highs, noisy, matrix.shape, true, validate=False
+        )
+        return self.publish_packed(
+            packed,
+            matrix,
+            ledger,
             metadata={
                 "height": height,
                 "split_fraction": self.split_fraction,
-                "n_partitions": len(partitions),
+                "n_partitions": packed.n_partitions,
             },
         )
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core.exceptions import MethodError
 from ..core.frequency_matrix import FrequencyMatrix
-from ..core.partition import Partition, Partitioning
+from ..core.packed import packed_from_intervals
 from ..core.private_matrix import PrivateFrequencyMatrix
 from ..dp.budget import BudgetLedger
 from ..dp.mechanisms import laplace_noise
@@ -95,19 +95,16 @@ class Quadtree(Sanitizer):
         ledger.charge(epsilon, scope="leaves", note=f"{true_counts.size} leaves")
         noise = laplace_noise(1.0, epsilon, rng, size=true_counts.shape)
 
-        boxes: List[List[Tuple[int, int]]] = [[]]
-        for intervals in per_dim:
-            boxes = [prefix + [iv] for prefix in boxes for iv in intervals]
-        partitions = [
-            Partition(tuple(box), float(c + n), float(c))
-            for box, c, n in zip(boxes, true_counts, noise)
-        ]
-        return PrivateFrequencyMatrix(
-            Partitioning(partitions, matrix.shape, validate=False),
-            matrix.domain,
-            epsilon=epsilon,
-            method=self.name,
-            metadata={"height": height, "n_partitions": len(partitions)},
+        # Leaf boxes are the cartesian product of the per-dimension binary
+        # intervals, in the same C order as the reduceat aggregation above.
+        packed = packed_from_intervals(
+            per_dim, true_counts + noise, matrix.shape, true_counts=true_counts
+        )
+        return self.publish_packed(
+            packed,
+            matrix,
+            ledger,
+            metadata={"height": height, "n_partitions": packed.n_partitions},
         )
 
     def describe(self):

@@ -3,6 +3,15 @@
 Ground-truth answers come from a :class:`~repro.core.PrefixSumTable` built
 once per matrix; private answers use the matrix's own engine.  The result
 rows feed the experiment harness and the figure benchmarks directly.
+
+Everything here is batch-first: workloads expose their queries as packed
+``(lows, highs)`` arrays (:meth:`~repro.queries.workload.Workload.as_arrays`),
+ground truth per workload is computed in one
+:meth:`~repro.core.PrefixSumTable.query_arrays` call and cached, and
+:meth:`WorkloadEvaluator.evaluate_all` answers *all* workloads for a
+private matrix with a single concatenated
+:meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays` pass — the engine
+(geometric kernel or dense prefix sums) is chosen once for the whole batch.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from ..core.exceptions import QueryError
 from ..core.frequency_matrix import FrequencyMatrix
 from ..core.prefix_sum import PrefixSumTable
 from ..core.private_matrix import PrivateFrequencyMatrix
@@ -55,25 +65,67 @@ class WorkloadEvaluator:
     def matrix(self) -> FrequencyMatrix:
         return self._matrix
 
+    @staticmethod
+    def _cache_key(workload: Workload) -> str:
+        return f"{workload.name}:{len(workload)}:{hash(workload.queries)}"
+
     def true_answers(self, workload: Workload) -> np.ndarray:
-        """Exact workload answers (cached per workload name + length)."""
-        key = f"{workload.name}:{len(workload)}:{hash(workload.queries)}"
+        """Exact workload answers (cached per workload name + content)."""
+        # Workload arrays are validated against *their own* shape; the
+        # cheap guard here keeps a mismatched workload a clean QueryError
+        # instead of a raw gather IndexError (or a silent wrong answer).
+        if workload.shape != self._matrix.shape:
+            raise QueryError(
+                f"workload {workload.name!r} is for shape {workload.shape}, "
+                f"evaluator matrix has shape {self._matrix.shape}"
+            )
+        key = self._cache_key(workload)
         if key not in self._truth_cache:
-            self._truth_cache[key] = self._table.query_many(list(workload))
+            lows, highs = workload.as_arrays()
+            self._truth_cache[key] = self._table.query_arrays(lows, highs)
         return self._truth_cache[key]
 
     def evaluate(
         self, private: PrivateFrequencyMatrix, workload: Workload
     ) -> EvaluationResult:
         """Accuracy of ``private`` on ``workload``."""
-        truth = self.true_answers(workload)
-        estimates = private.answer_many(list(workload))
-        return EvaluationResult(
-            method=private.method,
-            workload=workload.name,
-            epsilon=private.epsilon,
-            report=accuracy_report(truth, estimates, self._floor),
-        )
+        return self.evaluate_all(private, [workload])[0]
+
+    def evaluate_all(
+        self,
+        private: PrivateFrequencyMatrix,
+        workloads: Sequence[Workload],
+    ) -> List[EvaluationResult]:
+        """Accuracy of ``private`` on every workload, in one batched pass.
+
+        All workloads' boxes are concatenated into a single
+        :meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays` call so
+        the engine choice (vectorized geometric kernel vs. dense prefix
+        sums) and any dense reconstruction are amortized across the whole
+        cross product, then the answer vector is split back per workload.
+        """
+        workloads = list(workloads)
+        if not workloads:
+            return []
+        truths = [self.true_answers(w) for w in workloads]
+        arrays = [w.as_arrays() for w in workloads]
+        lows = np.concatenate([a[0] for a in arrays], axis=0)
+        highs = np.concatenate([a[1] for a in arrays], axis=0)
+        estimates = private.answer_arrays(lows, highs)
+        results: List[EvaluationResult] = []
+        offset = 0
+        for workload, truth in zip(workloads, truths):
+            chunk = estimates[offset : offset + len(workload)]
+            offset += len(workload)
+            results.append(
+                EvaluationResult(
+                    method=private.method,
+                    workload=workload.name,
+                    epsilon=private.epsilon,
+                    report=accuracy_report(truth, chunk, self._floor),
+                )
+            )
+        return results
 
     def evaluate_many(
         self,
@@ -83,6 +135,5 @@ class WorkloadEvaluator:
         """Cross product of private matrices and workloads."""
         results: List[EvaluationResult] = []
         for private in privates:
-            for workload in workloads:
-                results.append(self.evaluate(private, workload))
+            results.extend(self.evaluate_all(private, workloads))
         return results

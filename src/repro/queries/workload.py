@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.exceptions import ValidationError
 from ..core.frequency_matrix import Box
+from ..core.packed import boxes_to_arrays, validate_box_arrays
 from ..dp.rng import RNGLike, ensure_rng
 
 
@@ -44,6 +45,22 @@ class Workload:
 
     def __iter__(self):
         return iter(self.queries)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The queries as validated ``(lows, highs)`` int64 arrays.
+
+        Built and validated once, then cached on the instance: the batch
+        query engines (:meth:`PrivateFrequencyMatrix.answer_arrays`,
+        :meth:`PrefixSumTable.query_arrays`) consume these directly, so a
+        workload evaluated across many private matrices pays conversion
+        exactly once.
+        """
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            lows, highs = boxes_to_arrays(self.queries)
+            cached = validate_box_arrays(lows, highs, self.shape)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
 
     def coverage_fractions(self) -> np.ndarray:
         """Fraction of total cells each query covers."""

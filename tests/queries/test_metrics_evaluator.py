@@ -83,6 +83,27 @@ class TestWorkloadEvaluator:
             assert t == pytest.approx(small_2d.range_count(q))
         assert ev.true_answers(wl) is truth  # cached object
 
+    def test_mismatched_workload_shape_rejected(self, small_2d, rng):
+        from repro.core import QueryError
+
+        ev = WorkloadEvaluator(small_2d)
+        wl = random_workload((32, 32), 5, rng)  # matrix is 16x16
+        with pytest.raises(QueryError, match="shape"):
+            ev.true_answers(wl)
+
+    def test_batched_evaluate_all_matches_per_workload(self, small_2d, rng):
+        ev = WorkloadEvaluator(small_2d)
+        wls = [
+            random_workload(small_2d.shape, 15, rng, name="a"),
+            random_workload(small_2d.shape, 25, rng, name="b"),
+        ]
+        private = Identity().sanitize(small_2d, 1.0, rng=0)
+        batched = ev.evaluate_all(private, wls)
+        singles = [ev.evaluate(private, wl) for wl in wls]
+        for got, want in zip(batched, singles):
+            assert got.workload == want.workload
+            assert got.mre == pytest.approx(want.mre)
+
     def test_evaluate_result_fields(self, small_2d, rng):
         ev = WorkloadEvaluator(small_2d)
         wl = random_workload(small_2d.shape, 30, rng)
