@@ -99,6 +99,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
             f"available: {sorted(ALL_ARTIFACTS)}"
         )
     scale = get_scale(args.scale)
+    if args.n_jobs is not None:
+        scale = scale.with_overrides(n_jobs=args.n_jobs)
     result = ALL_ARTIFACTS[args.artifact](scale=scale, rng=args.seed)
     columns = [c for c in result.rows[0] if c not in ("mre_std", "n_trials")]
     print(result.to_text(columns))
@@ -146,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", default="tiny",
                        choices=["tiny", "small", "paper"])
     p_fig.add_argument("--seed", type=int, default=2022)
+    p_fig.add_argument("--n-jobs", type=int, default=None,
+                       help="trial parallelism: 1 = serial (default), "
+                            "k > 1 = worker processes, -1 = all cores; "
+                            "results are identical across settings")
 
     p_cmp = sub.add_parser("compare", help="compare methods on one dataset")
     _add_dataset_args(p_cmp)

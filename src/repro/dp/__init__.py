@@ -18,7 +18,7 @@ from .mechanisms import (
     laplace_variance,
     report_noisy_min,
 )
-from .rng import RNGLike, ensure_rng, spawn
+from .rng import RNGLike, derive_entropy, ensure_rng, spawn, spawn_key_rng
 
 __all__ = [
     "BudgetLedger",
@@ -28,6 +28,7 @@ __all__ = [
     "RNGLike",
     "ROOT_BUDGET_FRACTION",
     "allocation_noise_variance",
+    "derive_entropy",
     "ensure_rng",
     "geometric_level_budgets",
     "geometric_noise",
@@ -38,6 +39,7 @@ __all__ = [
     "report_noisy_min",
     "root_budget",
     "spawn",
+    "spawn_key_rng",
     "split_budget",
     "uniform_level_budgets",
 ]

@@ -5,11 +5,23 @@ All stochastic code in the library takes an explicit
 seed.  ``ensure_rng`` normalizes the accepted spellings (``None``, an int
 seed, or an existing Generator); ``spawn`` derives independent child
 generators for parallel sub-tasks without correlated streams.
+
+Two spawning disciplines exist:
+
+* :func:`spawn` is *sequential*: each call consumes parent state, so the
+  children depend on how many spawns happened before.  Fine for in-order
+  code, wrong for work that may be scheduled out of order.
+* :func:`spawn_key_rng` is *keyed*: the child at position ``key`` of the
+  spawn tree is a pure function of ``(entropy, key)`` and nothing else,
+  so any process can rebuild exactly its own stream regardless of which
+  trials ran before it, on which worker, in which order.  This is what
+  makes parallel trial execution bit-identical to serial
+  (:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -39,3 +51,33 @@ def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
         raise ValueError(f"cannot spawn {n} generators")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_entropy(rng: RNGLike = None) -> int:
+    """Draw one 63-bit root for a keyed spawn tree.
+
+    Consumes exactly one draw from ``rng``; every child is then derived
+    from the returned integer via :func:`spawn_key_rng`, never from the
+    parent's state again.
+    """
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def spawn_key_rng(entropy: int, key: Sequence[int]) -> np.random.Generator:
+    """The child generator at position ``key`` of a keyed spawn tree.
+
+    Unlike :func:`spawn`, the result is a pure function of
+    ``(entropy, key)`` — no parent state is consumed — so children can be
+    rebuilt independently, in any order, in any process, and still
+    produce identical streams.  Distinct keys give statistically
+    independent streams (``numpy.random.SeedSequence`` spawn keys).
+    """
+    entropy = int(entropy)
+    if entropy < 0:
+        raise ValueError(f"entropy must be non-negative, got {entropy}")
+    spawn_key = tuple(int(k) for k in key)
+    if any(k < 0 for k in spawn_key):
+        raise ValueError(f"spawn key components must be non-negative, got {spawn_key}")
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=spawn_key)
+    )

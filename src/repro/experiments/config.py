@@ -37,6 +37,11 @@ class ExperimentScale:
         Queries per workload (paper: 1000).
     n_trials:
         Sanitization repetitions averaged per data point.
+    n_jobs:
+        Trial parallelism for :func:`~repro.experiments.runner.run_methods`
+        (1 = serial, ``k > 1`` = that many worker processes, -1 = all
+        cores).  Results are bit-identical across settings; serial is
+        usually faster for tiny grids where process startup dominates.
     """
 
     name: str
@@ -46,12 +51,17 @@ class ExperimentScale:
     od_cell_budget: int
     n_queries: int
     n_trials: int = 1
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         for attr in ("n_points", "n_trajectories", "city_resolution",
                      "od_cell_budget", "n_queries", "n_trials"):
             if getattr(self, attr) < 1:
                 raise ValidationError(f"{attr} must be >= 1")
+        if self.n_jobs < 1 and self.n_jobs != -1:
+            raise ValidationError(
+                f"n_jobs must be >= 1 or -1 (all cores), got {self.n_jobs}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)

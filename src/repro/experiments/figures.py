@@ -117,7 +117,7 @@ def figure4(
             workload = random_workload(shape, scale.n_queries, wl_rng)
             rows = run_methods(
                 matrix, specs, list(epsilons), [workload],
-                n_trials=scale.n_trials, rng=run_rng,
+                n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
                 extra={"d": d, "skew_fraction": frac, "variance": variance},
             )
             result.rows.extend(
@@ -151,7 +151,7 @@ def figure5(
             workload = random_workload(shape, scale.n_queries, wl_rng)
             rows = run_methods(
                 matrix, specs, [epsilon], [workload],
-                n_trials=scale.n_trials, rng=run_rng,
+                n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
                 extra={"d": d, "zipf_a": a},
             )
             result.rows.extend(
@@ -209,7 +209,8 @@ def figure6(
         workloads = _city_workloads(matrix.shape, scale, wl_rng)
         rows = run_methods(
             matrix, specs, list(epsilons), workloads,
-            n_trials=scale.n_trials, rng=run_rng, extra={"city": city_name},
+            n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+            extra={"city": city_name},
         )
         result.rows.extend(
             aggregate_rows(rows, ("method", "epsilon", "workload", "city"))
@@ -263,7 +264,7 @@ def figure8(
         workloads = _city_workloads(matrix.shape, scale, wl_rng)
         rows = run_methods(
             matrix, specs, list(epsilons), workloads,
-            n_trials=scale.n_trials, rng=run_rng,
+            n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
             extra={"city": city_name, "od_shape": "x".join(map(str, matrix.shape))},
         )
         result.rows.extend(
@@ -299,7 +300,8 @@ def table3(
         workload = random_workload(matrix.shape, 1, wl_rng)
         rows = run_methods(
             matrix, specs, [epsilon], [workload],
-            n_trials=scale.n_trials, rng=run_rng, extra={"city": city_name},
+            n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+            extra={"city": city_name},
         )
         result.rows.extend(
             aggregate_rows(rows, ("method", "epsilon", "city"))

@@ -4,6 +4,11 @@ Figure regeneration at paper scale is expensive; these helpers persist
 result rows as JSON (lossless) or CSV (spreadsheet-friendly) so runs can
 be captured once and re-rendered or diffed later.  ``EXPERIMENTS.md`` is
 generated from saved runs via :func:`results_to_markdown`.
+
+Runs produced in pieces — parallel shards, per-city checkpoints, resumed
+grids — are combined with :func:`merge_rows`, which imposes a canonical
+(method, epsilon, workload, trial) ordering so the merged file is
+byte-identical no matter how the pieces were scheduled or concatenated.
 """
 
 from __future__ import annotations
@@ -11,10 +16,55 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..core.exceptions import ValidationError
 from .figures import FigureResult
+
+#: Canonical ordering for merged result rows.
+ROW_ORDER_KEYS: Tuple[str, ...] = ("method", "epsilon", "workload", "trial")
+
+
+def row_sort_key(
+    row: Mapping[str, object], keys: Sequence[str] = ROW_ORDER_KEYS
+) -> tuple:
+    """A total-order sort key over possibly heterogeneous row values.
+
+    Missing fields sort first; numbers sort together (as floats) before
+    everything else (as strings), so rows from different sources never
+    raise on comparison.
+    """
+    out = []
+    for key in keys:
+        value = row.get(key)
+        if value is None:
+            out.append((0, ""))
+        elif isinstance(value, bool):
+            out.append((2, str(value)))
+        elif isinstance(value, (int, float)):
+            out.append((1, float(value)))
+        else:
+            out.append((2, str(value)))
+    return tuple(out)
+
+
+def merge_rows(
+    row_lists: Iterable[Sequence[Mapping[str, object]]],
+    keys: Sequence[str] = ROW_ORDER_KEYS,
+) -> List[Mapping[str, object]]:
+    """Merge result-row shards into one deterministically ordered list.
+
+    For rows that are distinct on ``keys`` — the normal case, since
+    (method, epsilon, workload, trial) identifies a result — the output
+    order depends only on row content, not on which shard finished
+    first.  The sort is stable, so any rows that *tie* on every key keep
+    their concatenation order; shards whose rows collide on ``keys``
+    (e.g. re-runs of the same grid cell) should extend ``keys`` with a
+    disambiguating field.
+    """
+    merged = [row for rows in row_lists for row in rows]
+    merged.sort(key=lambda r: row_sort_key(r, keys))
+    return merged
 
 
 def save_result_json(result: FigureResult, path: str | Path) -> None:

@@ -116,3 +116,60 @@ class TestRunner:
             rng=rng,
         )
         assert rows[0].method == "daf_entropy(allocation=uniform)"
+
+
+class TestTrialTimingAggregation:
+    """Timing is measured once per trial and duplicated onto each of the
+    trial's rows; aggregation must average over trials, not rows."""
+
+    @staticmethod
+    def _row(workload, trial, sanitize_s, query_s):
+        from repro.queries.metrics import AccuracyReport
+
+        report = AccuracyReport(
+            mre=1.0, median_re=1.0, mae=1.0, rmse=1.0, n_queries=5
+        )
+        from repro.experiments import ResultRow
+
+        return ResultRow(
+            method="m", epsilon=1.0, workload=workload, trial=trial,
+            report=report, sanitize_seconds=sanitize_s, n_partitions=4,
+            extra={}, query_seconds=query_s,
+        )
+
+    def test_query_seconds_shared_across_trial_rows(self, small_2d, rng):
+        wls = [
+            random_workload(small_2d.shape, 5, rng, name="w1"),
+            random_workload(small_2d.shape, 5, rng, name="w2"),
+        ]
+        rows = run_methods(
+            small_2d, default_method_specs(["uniform"]), [1.0], wls,
+            n_trials=2, rng=rng,
+        )
+        for trial in (0, 1):
+            times = {r.query_seconds for r in rows if r.trial == trial}
+            assert len(times) == 1
+
+    def test_aggregation_averages_over_trials_not_rows(self):
+        # Trial 0 contributes two workload rows, trial 1 only one: a
+        # row-wise mean would weight trial 0's measurement double.
+        rows = [
+            self._row("w1", 0, 10.0, 1.0),
+            self._row("w2", 0, 10.0, 1.0),
+            self._row("w1", 1, 20.0, 3.0),
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert len(agg) == 1
+        assert agg[0]["query_seconds"] == pytest.approx(2.0)  # (1 + 3) / 2
+        assert agg[0]["sanitize_seconds"] == pytest.approx(15.0)
+
+    def test_aggregation_does_not_multi_count_workloads(self):
+        # Balanced workloads: the per-trial value must pass through
+        # unchanged, never summed over the trial's rows.
+        rows = [
+            self._row(w, t, 4.0, 0.5) for w in ("w1", "w2", "w3")
+            for t in (0, 1)
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert agg[0]["query_seconds"] == pytest.approx(0.5)
+        assert agg[0]["sanitize_seconds"] == pytest.approx(4.0)
