@@ -6,9 +6,12 @@ through :func:`~repro.experiments.run_methods` — ``n_jobs=1`` and
 serial rows bit-for-bit (the equivalence the test harness licenses) and,
 on a machine with at least 4 usable cores, beat serial by a hard floor
 (the 2x target is recorded in the artifact; the floor tolerates
-SMT-sharing runners).  On narrower machines the speedup is recorded but
-not enforced — four workers sharing one core cannot beat one worker,
-and that is a fact about the machine, not the executor.
+SMT-sharing runners).  On narrower machines the artifact carries a
+``skipped_low_cores`` marker and *no* speedup record — four workers
+sharing one core cannot beat one worker, and that is a fact about the
+machine, not the executor, so recording a sub-1x "speedup" there would
+only trip downstream regression gates (``tools/bench_gate.py`` ignores
+skipped entries).
 
 Results are written to ``BENCH_parallel_trials.json`` at the repository
 root so the speedup trajectory (and the core count it was measured on)
@@ -105,17 +108,23 @@ def test_parallel_trials_speedup():
         "usable_cores": cores,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
-        "speedup": speedup,
         "speedup_target": SPEEDUP_TARGET,
         "speedup_floor": SPEEDUP_FLOOR,
         "floor_enforced": threshold_enforced,
-        "meets_target": speedup >= SPEEDUP_TARGET,
+        "skipped_low_cores": not threshold_enforced,
         "rows_identical": rows_identical,
     }
+    if threshold_enforced:
+        # Only a machine with enough cores measures a meaningful speedup;
+        # on narrower machines the record would just say the machine is
+        # narrow, and downstream gates would read it as a regression.
+        payload["speedup"] = speedup
+        payload["meets_target"] = speedup >= SPEEDUP_TARGET
     ARTIFACT.write_text(json.dumps(payload, indent=1))
     print(
         f"\nserial {serial_seconds:.2f}s, parallel({N_JOBS}) "
         f"{parallel_seconds:.2f}s -> {speedup:.2f}x on {cores} core(s)"
+        + ("" if threshold_enforced else " [skipped_low_cores]")
     )
 
     assert rows_identical, "parallel rows diverged from serial"

@@ -7,8 +7,14 @@ The scalar loop costs one Python call per (query, partition) pair, so it
 is timed on a query subsample and compared per-query; the vectorized
 engines are timed on the full workload.
 
+The planner claim rides on the same substrate: for a 10k batch of
+*small* queries (a few cells per axis) the interval-index pruned gather
+must beat the full tiled broadcast kernel by at least 3x with answers
+matching within 1e-9, and the planner must pick it unprompted.
+
 Results are written to ``BENCH_query_engine.json`` at the repository root
-so the speedup trajectory is visible across commits.
+so the speedup trajectory is visible across commits;
+``tools/bench_gate.py`` fails CI when the recorded speedups regress.
 """
 
 import json
@@ -18,7 +24,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import PrivateFrequencyMatrix, boxes_to_arrays, packed_from_intervals
+from repro.core import (
+    PLAN_BROADCAST,
+    PLAN_PRUNED,
+    PrivateFrequencyMatrix,
+    boxes_to_arrays,
+    packed_from_intervals,
+)
 from repro.methods._grid import axis_intervals
 from repro.queries import random_workload
 
@@ -26,8 +38,22 @@ SHAPE = (256, 256)
 GRID_M = 64  # 64 x 64 = 4096 partitions
 N_QUERIES = 10_000
 SCALAR_SAMPLE = 200  # scalar reference is timed on this subsample
+SMALL_QUERY_EXTENT = 3  # small queries span at most this many extra cells
+PRUNED_SPEEDUP_FLOOR = 3.0
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_query_engine.json"
+
+
+def merge_artifact(update):
+    """Merge ``update`` into the artifact, keeping other tests' keys."""
+    payload = {}
+    if ARTIFACT.exists():
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(update)
+    ARTIFACT.write_text(json.dumps(payload, indent=1))
 
 
 @pytest.fixture(scope="module")
@@ -55,15 +81,18 @@ def test_vectorized_speedup_and_exactness(private_256, workload_10k):
     scalar_seconds = time.perf_counter() - start
     scalar_per_query = scalar_seconds / SCALAR_SAMPLE
 
-    # Vectorized geometric kernel on the full workload.
+    # Vectorized geometric kernel on the full workload (forced broadcast:
+    # this series tracks the tiled kernel itself, not the planner).
     start = time.perf_counter()
-    kernel = private_256.packed.answer_many_arrays(lows, highs)
+    kernel = private_256.packed.answer_many_arrays(
+        lows, highs, plan=PLAN_BROADCAST
+    )
     kernel_seconds = time.perf_counter() - start
 
-    # answer_many with the automatic engine switch (dense prefix sums win
-    # at this q x k, so this also exercises the cost model).
+    # answer_many with the automatic planner (dense prefix sums win at
+    # this q x k, so this also exercises the cost model).
     start = time.perf_counter()
-    auto = private_256.answer_arrays(lows, highs)
+    auto, auto_plan = private_256.answer_arrays(lows, highs, return_plan=True)
     auto_seconds = time.perf_counter() - start
 
     kernel_speedup = scalar_per_query / (kernel_seconds / N_QUERIES)
@@ -80,12 +109,13 @@ def test_vectorized_speedup_and_exactness(private_256, workload_10k):
         "auto_seconds": auto_seconds,
         "kernel_speedup": kernel_speedup,
         "auto_speedup": auto_speedup,
+        "auto_plan": auto_plan,
         "kernel_max_abs_diff": float(
             np.abs(kernel[:SCALAR_SAMPLE] - scalar).max()
         ),
         "auto_max_abs_diff": float(np.abs(auto[:SCALAR_SAMPLE] - scalar).max()),
     }
-    ARTIFACT.write_text(json.dumps(payload, indent=1))
+    merge_artifact(payload)
     print(
         f"\nscalar {scalar_per_query * 1e6:.1f} us/query, "
         f"kernel {kernel_seconds / N_QUERIES * 1e6:.1f} us/query "
@@ -100,9 +130,76 @@ def test_vectorized_speedup_and_exactness(private_256, workload_10k):
     assert auto_speedup >= 10, f"auto engine only {auto_speedup:.1f}x faster"
 
 
+def test_pruned_plan_speedup_on_small_queries(private_256):
+    """The planner claim: small queries against a large partition list.
+
+    The interval-index pruned gather must beat the full tiled broadcast
+    kernel by at least 3x on a 10k batch of few-cell queries, with
+    answers matching within 1e-9 — and the planner must choose it
+    without being forced.
+    """
+    rng = np.random.default_rng(7)
+    lows = np.stack(
+        [
+            rng.integers(0, s - SMALL_QUERY_EXTENT, size=N_QUERIES)
+            for s in SHAPE
+        ],
+        axis=1,
+    )
+    highs = lows + rng.integers(0, SMALL_QUERY_EXTENT + 1, size=lows.shape)
+    packed = private_256.packed
+
+    assert packed.choose_plan(lows, highs) == PLAN_PRUNED
+
+    # Warm both paths (index build, weight cache) before timing.
+    packed.answer_many_arrays(lows, highs, plan=PLAN_BROADCAST)
+    packed.answer_many_arrays(lows, highs, plan=PLAN_PRUNED)
+
+    start = time.perf_counter()
+    broadcast = packed.answer_many_arrays(lows, highs, plan=PLAN_BROADCAST)
+    broadcast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pruned = packed.answer_many_arrays(lows, highs, plan=PLAN_PRUNED)
+    pruned_seconds = time.perf_counter() - start
+
+    pruned_speedup = broadcast_seconds / pruned_seconds
+    pruned_max_abs_diff = float(np.abs(pruned - broadcast).max())
+    index = packed.interval_index()
+    mean_fraction = float(index.candidate_fraction(lows, highs).mean())
+
+    merge_artifact(
+        {
+            "small_query_extent": SMALL_QUERY_EXTENT,
+            "small_query_candidate_fraction": mean_fraction,
+            "broadcast_seconds_small": broadcast_seconds,
+            "pruned_seconds_small": pruned_seconds,
+            "pruned_speedup": pruned_speedup,
+            "pruned_speedup_floor": PRUNED_SPEEDUP_FLOOR,
+            "pruned_max_abs_diff": pruned_max_abs_diff,
+        }
+    )
+    print(
+        f"\nbroadcast {broadcast_seconds / N_QUERIES * 1e6:.1f} us/query, "
+        f"pruned {pruned_seconds / N_QUERIES * 1e6:.1f} us/query "
+        f"({pruned_speedup:.1f}x, candidate fraction {mean_fraction:.4f})"
+    )
+
+    assert pruned_max_abs_diff <= 1e-9
+    assert pruned_speedup >= PRUNED_SPEEDUP_FLOOR, (
+        f"pruned plan only {pruned_speedup:.2f}x faster than broadcast"
+    )
+
+
 def test_engines_agree_on_full_workload(private_256, workload_10k):
-    """The two vectorized engines agree everywhere, not just the sample."""
+    """All vectorized engines agree everywhere, not just the sample."""
     lows, highs = workload_10k.as_arrays()
-    kernel = private_256.packed.answer_many_arrays(lows, highs)
+    kernel = private_256.packed.answer_many_arrays(
+        lows, highs, plan=PLAN_BROADCAST
+    )
+    pruned = private_256.packed.answer_many_arrays(
+        lows, highs, plan=PLAN_PRUNED
+    )
     dense = private_256._prefix_table().query_arrays(lows, highs)
     np.testing.assert_allclose(kernel, dense, rtol=1e-9, atol=1e-6)
+    np.testing.assert_allclose(pruned, kernel, rtol=0, atol=1e-9)

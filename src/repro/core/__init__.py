@@ -31,6 +31,13 @@ from .frequency_matrix import (
     full_box,
     validate_box,
 )
+from .interval_index import (
+    PLAN_BROADCAST,
+    PLAN_DENSE,
+    PLAN_PRUNED,
+    IntervalIndex,
+    choose_packed_plan,
+)
 from .packed import (
     PackedPartitioning,
     boxes_to_arrays,
@@ -48,7 +55,11 @@ __all__ = [
     "DimensionSpec",
     "Domain",
     "FrequencyMatrix",
+    "IntervalIndex",
     "MethodError",
+    "PLAN_BROADCAST",
+    "PLAN_DENSE",
+    "PLAN_PRUNED",
     "PackedPartitioning",
     "Partition",
     "Partitioning",
@@ -61,6 +72,7 @@ __all__ = [
     "ValidationError",
     "box_n_cells",
     "boxes_to_arrays",
+    "choose_packed_plan",
     "clip_nonnegative",
     "box_slices",
     "distribution_entropy",

@@ -1,0 +1,281 @@
+"""Per-dimension sorted interval index and the pruned query strategy.
+
+The tiled broadcast kernel (:meth:`PackedPartitioning.answer_many_arrays
+<repro.core.packed.PackedPartitioning.answer_many_arrays>`) scores every
+``(query, partition)`` pair, so a batch of *small* queries against a
+*large* partition list pays ``O(q × k × d)`` even though each query
+overlaps only a handful of partitions.  An :class:`IntervalIndex` makes
+the overlapping handful cheap to find.
+
+Per dimension ``a`` the partitions are argsorted by ``lo[:, a]``, and the
+running maximum of ``hi`` along that order is precomputed.  A query
+``[qlo, qhi]`` on that dimension can only overlap positions in a
+*contiguous* slice ``[s, e)`` of the lo-sorted order:
+
+* ``e = searchsorted(lo_sorted, qhi, "right")`` — everything at or past
+  ``e`` starts after the query ends;
+* ``s = searchsorted(running_max_hi, qlo, "left")`` — the running max is
+  non-decreasing, and everything before ``s`` has ``hi < qlo``, so it
+  ends before the query starts.
+
+Two binary searches per (query, dimension) therefore bound the candidate
+set from above; the dimension with the smallest slice is the probe axis.
+Gathered candidates then go through the exact overlap product (the same
+arithmetic as the broadcast kernel, clipped at zero), so false positives
+contribute exactly zero and the answers are *identical* to the unpruned
+kernel up to float summation order.
+
+The slice lengths double as the planner's cost signal: their sum
+estimates how many pairs the pruned gather touches, and
+:func:`choose_packed_plan` compares that (plus a per-query gather
+overhead) against the ``q × k`` pairs the broadcast kernel always pays.
+Sharded evaluation can reuse the same structure to skip partition ranges
+that no query in a batch touches (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from .exceptions import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .packed import PackedPartitioning
+
+#: Plan names recorded on result rows and accepted by the ``plan=``
+#: overrides of the answering entry points.
+PLAN_DENSE = "dense"
+PLAN_BROADCAST = "broadcast"
+PLAN_PRUNED = "pruned"
+
+#: Below this many partitions the broadcast kernel is already cheap and
+#: the gather bookkeeping cannot amortize.
+PRUNE_MIN_PARTITIONS = 128
+
+#: Per-query overhead of the pruned gather (candidate-slice collection
+#: and the bincount reduction), expressed in broadcast pair-equivalents.
+PRUNE_OVERHEAD_PAIRS = 64
+
+#: The pruned plan must look at least this many times cheaper than the
+#: broadcast kernel before the planner picks it.  A gathered pair costs
+#: several times a contiguous broadcast pair (fancy indexing, the
+#: bincount reduction), and the slice bound is an upper bound on work
+#: only, not a guarantee of savings — measured crossover on the
+#: query-engine microbenchmark substrate sits near an 8:1 pair ratio.
+PRUNE_SAFETY_FACTOR = 8.0
+
+#: Upper bound on gathered (query, partition) pairs per processing chunk
+#: of the pruned strategy, so peak memory stays bounded like the
+#: broadcast kernel's query tiling.
+GATHER_TILE_PAIRS = 2_000_000
+
+
+class IntervalIndex:
+    """Sorted per-dimension interval index over a packed partitioning.
+
+    Construction costs one ``O(k log k)`` argsort per dimension; the
+    owning :class:`~repro.core.packed.PackedPartitioning` builds it
+    lazily and caches it, so repeated batches share one index.
+    """
+
+    __slots__ = ("_packed", "_order", "_lo_sorted", "_run_max_hi")
+
+    def __init__(self, packed: "PackedPartitioning"):
+        self._packed = packed
+        lo, hi = packed.lo, packed.hi
+        d = lo.shape[1]
+        self._order: List[np.ndarray] = []
+        self._lo_sorted: List[np.ndarray] = []
+        self._run_max_hi: List[np.ndarray] = []
+        for a in range(d):
+            order = np.argsort(lo[:, a], kind="stable")
+            self._order.append(order)
+            self._lo_sorted.append(np.ascontiguousarray(lo[order, a]))
+            self._run_max_hi.append(np.maximum.accumulate(hi[order, a]))
+
+    @property
+    def packed(self) -> "PackedPartitioning":
+        return self._packed
+
+    @property
+    def n_partitions(self) -> int:
+        return self._packed.n_partitions
+
+    # ------------------------------------------------------------------
+    # Candidate slices (the planner's cost signal)
+    # ------------------------------------------------------------------
+    def candidate_slices(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(start, stop)`` arrays of shape ``(q, d)`` into each
+        dimension's lo-sorted order.
+
+        The slice ``order[a][start[i, a]:stop[i, a]]`` is a superset of
+        the partitions query ``i`` can overlap, judged by axis ``a``
+        alone (``stop`` may not exceed ``start``; treat the slice as
+        empty then).
+        """
+        q, d = lows.shape
+        start = np.empty((q, d), dtype=np.int64)
+        stop = np.empty((q, d), dtype=np.int64)
+        for a in range(d):
+            start[:, a] = np.searchsorted(
+                self._run_max_hi[a], lows[:, a], side="left"
+            )
+            stop[:, a] = np.searchsorted(
+                self._lo_sorted[a], highs[:, a], side="right"
+            )
+        return start, stop
+
+    def candidate_counts(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """``(q,)`` upper bound on partitions each query can overlap.
+
+        The tightest single-axis bound: ``min`` over dimensions of the
+        candidate-slice length.  Never smaller than the true count.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        if lows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        start, stop = self.candidate_slices(lows, highs)
+        return np.clip(stop - start, 0, None).min(axis=1)
+
+    def candidate_fraction(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """``(q,)`` estimated fraction of the partition list per query."""
+        return self.candidate_counts(lows, highs) / float(self.n_partitions)
+
+    def candidates(self, qlo: np.ndarray, qhi: np.ndarray) -> np.ndarray:
+        """Exact sorted partition ids overlapping one query box.
+
+        The single-query building block for sharded evaluation: probe the
+        cheapest axis, then filter the gathered superset with the full
+        per-axis overlap test.
+        """
+        qlo = np.asarray(qlo, dtype=np.int64).reshape(1, -1)
+        qhi = np.asarray(qhi, dtype=np.int64).reshape(1, -1)
+        if qlo.shape[1] != len(self._order):
+            raise QueryError(
+                f"query has {qlo.shape[1]} dimensions, "
+                f"index has {len(self._order)}"
+            )
+        start, stop = self.candidate_slices(qlo, qhi)
+        lengths = np.clip(stop - start, 0, None)[0]
+        axis = int(lengths.argmin())
+        ids = self._order[axis][start[0, axis]:stop[0, axis]]
+        lo, hi = self._packed.lo, self._packed.hi
+        mask = np.logical_and(lo[ids] <= qhi, hi[ids] >= qlo).all(axis=1)
+        return np.sort(ids[mask])
+
+    # ------------------------------------------------------------------
+    # The pruned gather strategy
+    # ------------------------------------------------------------------
+    def answer_pruned(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        tile_pairs: int = GATHER_TILE_PAIRS,
+        slices: Tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Uniformity-assumption answers via candidate gather.
+
+        Identical values to the broadcast kernel (same overlap product,
+        clipped at zero, contracted against ``noisy / n_cells`` weights)
+        — only the partitions that each query's probe axis cannot rule
+        out are touched.  The candidate slices of a whole chunk of
+        queries are concatenated into one flat gather, the overlap
+        products computed in a single vectorized pass, and the per-query
+        sums recovered with a segmented ``bincount`` — the Python-level
+        loop only collects array views.  ``lows``/``highs`` are
+        ``(q, d)`` validated bounds; chunks are sized so no more than
+        ``tile_pairs`` gathered pairs are in flight at once.  ``slices``
+        accepts this batch's :meth:`candidate_slices` result when the
+        planner already computed it (see :func:`plan_with_slices`).
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        q = lows.shape[0]
+        out = np.zeros(q, dtype=np.float64)
+        if q == 0:
+            return out
+        slice_start, slice_stop = (
+            slices if slices is not None else self.candidate_slices(lows, highs)
+        )
+        per_dim = np.clip(slice_stop - slice_start, 0, None)
+        best_axis = per_dim.argmin(axis=1)
+        rows = np.arange(q)
+        lengths = per_dim[rows, best_axis]
+        bounds = np.concatenate([[0], np.cumsum(lengths)])
+        lo, hi = self._packed.lo, self._packed.hi
+        weights = self._packed.weights
+        start = 0
+        while start < q:
+            # Largest chunk whose gathered pairs fit the tile (always at
+            # least one query, even if that query alone exceeds it).
+            stop = int(
+                np.searchsorted(bounds, bounds[start] + tile_pairs, "right")
+            ) - 1
+            stop = min(max(stop, start + 1), q)
+            ids_chunks = [
+                self._order[best_axis[i]][
+                    slice_start[i, best_axis[i]]:slice_stop[i, best_axis[i]]
+                ]
+                for i in range(start, stop)
+                if lengths[i] > 0
+            ]
+            if not ids_chunks:
+                start = stop
+                continue
+            ids = np.concatenate(ids_chunks)
+            qidx = np.repeat(np.arange(start, stop), lengths[start:stop])
+            ov = np.minimum(highs[qidx], hi[ids])
+            ov -= np.maximum(lows[qidx], lo[ids])
+            ov += 1
+            np.clip(ov, 0, None, out=ov)
+            vals = ov.prod(axis=1, dtype=np.float64)
+            vals *= weights[ids]
+            out[start:stop] = np.bincount(
+                qidx - start, weights=vals, minlength=stop - start
+            )
+            start = stop
+        return out
+
+
+def plan_with_slices(
+    packed: "PackedPartitioning", lows: np.ndarray, highs: np.ndarray
+) -> Tuple[str, Tuple[np.ndarray, np.ndarray] | None]:
+    """Pick :data:`PLAN_PRUNED` or :data:`PLAN_BROADCAST` for a batch.
+
+    The broadcast kernel always scores ``q × k`` pairs.  The pruned
+    gather touches roughly the summed candidate-slice bound plus a
+    per-query gather overhead; it is chosen only when that estimate
+    beats the broadcast cost by :data:`PRUNE_SAFETY_FACTOR` (gathered
+    pairs are slower than contiguous ones).  Batches against few
+    partitions never prune — there is nothing worth skipping.
+
+    Returns ``(plan, slices)``: when the index was consulted, ``slices``
+    is its :meth:`IntervalIndex.candidate_slices` result for the batch,
+    so the pruned path does not recompute it (feed it to
+    :meth:`IntervalIndex.answer_pruned`).
+    """
+    lows = np.asarray(lows, dtype=np.int64)
+    highs = np.asarray(highs, dtype=np.int64)
+    q = int(lows.shape[0])
+    k = packed.n_partitions
+    if q == 0 or k < PRUNE_MIN_PARTITIONS:
+        return PLAN_BROADCAST, None
+    slices = packed.interval_index().candidate_slices(lows, highs)
+    counts = np.clip(slices[1] - slices[0], 0, None).min(axis=1)
+    est_pairs = float(counts.sum()) + q * PRUNE_OVERHEAD_PAIRS
+    if PRUNE_SAFETY_FACTOR * est_pairs < float(q) * k:
+        return PLAN_PRUNED, slices
+    return PLAN_BROADCAST, slices
+
+
+def choose_packed_plan(
+    packed: "PackedPartitioning", lows: np.ndarray, highs: np.ndarray
+) -> str:
+    """:func:`plan_with_slices` for callers that only want the name."""
+    return plan_with_slices(packed, lows, highs)[0]

@@ -38,6 +38,13 @@ import numpy as np
 
 from .exceptions import PartitioningError, QueryError
 from .frequency_matrix import Box
+from .interval_index import (
+    PLAN_BROADCAST,
+    PLAN_PRUNED,
+    IntervalIndex,
+    choose_packed_plan,
+    plan_with_slices,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .partition import Partitioning
@@ -116,7 +123,7 @@ class PackedPartitioning:
     """
 
     __slots__ = ("_lo", "_hi", "_noisy", "_true", "_shape", "_n_cells",
-                 "_weights")
+                 "_weights", "_index")
 
     def __init__(
         self,
@@ -160,6 +167,7 @@ class PackedPartitioning:
         self._true = true_counts
         self._n_cells = np.prod(hi - lo + 1, axis=1, dtype=np.int64)
         self._weights: np.ndarray | None = None
+        self._index: IntervalIndex | None = None
         if validate:
             self._validate_bounds()
             self._validate_exact_cover()
@@ -256,6 +264,19 @@ class PackedPartitioning:
     def total_noisy_count(self) -> float:
         return float(self._noisy.sum())
 
+    @property
+    def weights(self) -> np.ndarray:
+        """``(k,)`` per-cell contribution ``noisy_count / n_cells`` (cached)."""
+        if self._weights is None:
+            self._weights = self._noisy / self._n_cells
+        return self._weights
+
+    def interval_index(self) -> "IntervalIndex":
+        """The per-dimension sorted interval index (built once, cached)."""
+        if self._index is None:
+            self._index = IntervalIndex(self)
+        return self._index
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"PackedPartitioning(shape={self._shape}, "
@@ -312,19 +333,40 @@ class PackedPartitioning:
     # ------------------------------------------------------------------
     # The vectorized query kernel
     # ------------------------------------------------------------------
+    def choose_plan(self, lows: np.ndarray, highs: np.ndarray) -> str:
+        """Planner: pruned gather vs. full broadcast for this batch.
+
+        Delegates to :func:`~repro.core.interval_index.choose_packed_plan`
+        — the index's summed candidate bound is the cost signal.
+        """
+        return choose_packed_plan(self, lows, highs)
+
+    def answer_pruned_arrays(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> np.ndarray:
+        """The index-pruned gather strategy (same answers as broadcast)."""
+        return self.interval_index().answer_pruned(lows, highs)
+
     def answer_many_arrays(
         self,
         lows: np.ndarray,
         highs: np.ndarray,
         *,
         tile_elements: int = DEFAULT_TILE_ELEMENTS,
+        plan: str | None = None,
     ) -> np.ndarray:
         """Uniformity-assumption answers for a batch of boxes.
 
         ``lows``/``highs`` are ``(q, d)`` int arrays of inclusive bounds
         (already validated — see :func:`validate_box_arrays`).  Returns a
-        ``(q,)`` float64 vector.  Memory is bounded by tiling the query
-        axis so each ``(q_tile, k)`` intermediate stays under
+        ``(q,)`` float64 vector.
+
+        ``plan`` forces a strategy: :data:`~repro.core.interval_index.PLAN_BROADCAST`
+        (the tiled kernel) or :data:`~repro.core.interval_index.PLAN_PRUNED`
+        (interval-index candidate gather).  When ``None`` the planner
+        picks, using the index's candidate bound as the cost signal.  For
+        the broadcast kernel, memory is bounded by tiling the query axis
+        so each ``(q_tile, k)`` intermediate stays under
         ``tile_elements`` elements.
         """
         lows = np.asarray(lows, dtype=np.int64)
@@ -332,11 +374,21 @@ class PackedPartitioning:
         q = lows.shape[0]
         if q == 0:
             return np.zeros(0, dtype=np.float64)
+        slices = None
+        if plan is None:
+            plan, slices = plan_with_slices(self, lows, highs)
+        if plan == PLAN_PRUNED:
+            return self.interval_index().answer_pruned(
+                lows, highs, slices=slices
+            )
+        if plan != PLAN_BROADCAST:
+            raise QueryError(
+                f"unknown packed query plan {plan!r}; expected "
+                f"{PLAN_BROADCAST!r} or {PLAN_PRUNED!r}"
+            )
         k = self.n_partitions
         d = self.ndim
-        if self._weights is None:
-            self._weights = self._noisy / self._n_cells
-        weights = self._weights
+        weights = self.weights
         out = np.empty(q, dtype=np.float64)
         tile = max(1, int(tile_elements) // max(1, k))
         plo, phi = self._lo, self._hi

@@ -23,14 +23,18 @@ Three storage backends are supported:
   :class:`Partition` object per cell would be wasteful).  Conceptually this
   is the partitioning into singleton cells.
 
-Batch answering (:meth:`PrivateFrequencyMatrix.answer_many`) picks between
-two engines with a cost model: the geometric kernel does
-``O(q × k × d)`` work, while reconstructing the dense matrix and building a
+Batch answering (:meth:`PrivateFrequencyMatrix.answer_many`) plans each
+batch across three strategies with a cost model: the broadcast kernel does
+``O(q × k × d)`` work; reconstructing the dense matrix and building a
 prefix-sum table does ``O(cells)`` once and then ``O(2^d)`` per query — so
 when ``q × k`` exceeds a multiple of the cell count (and the matrix fits in
-memory) the dense route wins and is selected automatically.  The scalar
-:meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
-implementation; both engines are asserted against it by the test suite.
+memory) the dense route wins; and when the per-dimension interval index
+(:mod:`repro.core.interval_index`) estimates that most partitions cannot
+overlap the batch's queries, the index-pruned gather skips them.  The plan
+chosen for a batch is observable (:meth:`PrivateFrequencyMatrix.plan_queries`,
+``answer_arrays(..., return_plan=True)``) and forcible (``plan=...``).  The
+scalar :meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
+implementation; every engine is asserted against it by the test suite.
 """
 
 from __future__ import annotations
@@ -42,6 +46,12 @@ import numpy as np
 from .domain import Domain
 from .exceptions import QueryError, ValidationError
 from .frequency_matrix import Box, FrequencyMatrix, box_slices, validate_box
+from .interval_index import (
+    PLAN_BROADCAST,
+    PLAN_DENSE,
+    PLAN_PRUNED,
+    plan_with_slices,
+)
 from .packed import PackedPartitioning, boxes_to_arrays, validate_box_arrays
 from .partition import Partition, Partitioning
 from .prefix_sum import PrefixSumTable
@@ -262,10 +272,11 @@ class PrivateFrequencyMatrix:
         """Answer a workload of box queries, vectorized.
 
         Boxes are validated once up front (not per partition per query),
-        then routed to one of two engines by the cost model described in
-        the module docstring: the packed broadcast kernel, or a dense
-        prefix-sum reconstruction when ``n_queries × n_partitions`` would
-        dwarf the cell count.
+        then routed to one of three strategies by the cost model described
+        in the module docstring: the packed broadcast kernel, the
+        interval-index pruned gather, or a dense prefix-sum
+        reconstruction when ``n_queries × n_partitions`` would dwarf the
+        cell count.
         """
         boxes = list(boxes)
         if not boxes:
@@ -273,26 +284,83 @@ class PrivateFrequencyMatrix:
         lows, highs = boxes_to_arrays(boxes)
         return self.answer_arrays(lows, highs)
 
-    def answer_arrays(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    def plan_queries(self, lows: np.ndarray, highs: np.ndarray) -> str:
+        """The strategy :meth:`answer_arrays` would pick for this batch.
+
+        One of :data:`~repro.core.interval_index.PLAN_DENSE` (prefix-sum
+        reconstruction), :data:`~repro.core.interval_index.PLAN_BROADCAST`
+        (tiled geometric kernel) or
+        :data:`~repro.core.interval_index.PLAN_PRUNED` (interval-index
+        candidate gather).  Pure: answers nothing, but may lazily build
+        the interval index it uses as the cost signal.
+        """
+        lows, highs = validate_box_arrays(lows, highs, self.shape)
+        return self._plan(lows, highs)
+
+    def _dense_wins(self, n_queries: int) -> bool:
+        """The dense prefix-sum switch, checked before any index work."""
+        n_cells = int(np.prod(self.shape, dtype=np.int64))
+        return self.is_dense_backed or (
+            n_cells <= DENSE_SWITCH_MAX_CELLS
+            and n_queries * self.n_partitions > DENSE_SWITCH_FACTOR * n_cells
+        )
+
+    def _plan(self, lows: np.ndarray, highs: np.ndarray) -> str:
+        """Cost model over validated bounds (see module docstring)."""
+        if self._dense_wins(int(lows.shape[0])):
+            return PLAN_DENSE
+        return self.packed.choose_plan(lows, highs)
+
+    def answer_arrays(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        plan: str | None = None,
+        return_plan: bool = False,
+    ) -> np.ndarray | Tuple[np.ndarray, str]:
         """:meth:`answer_many` for ``(q, d)`` bound arrays.
 
         The workload evaluator calls this directly with cached arrays so
         repeated evaluations skip box-list conversion entirely.  Bounds
         are still checked — vectorized, one pass over the batch rather
         than per partition per query.
+
+        ``plan`` forces a strategy (one of the
+        :data:`~repro.core.interval_index.PLAN_DENSE` /
+        ``PLAN_BROADCAST`` / ``PLAN_PRUNED`` names); ``None`` lets
+        :meth:`plan_queries` choose.  With ``return_plan=True`` the
+        result is ``(answers, plan_name)`` so callers can record which
+        engine ran.
         """
         n_queries = int(np.asarray(lows).shape[0])
         if n_queries == 0:
-            return np.zeros(0, dtype=np.float64)
+            empty = np.zeros(0, dtype=np.float64)
+            return (empty, plan or PLAN_BROADCAST) if return_plan else empty
         lows, highs = validate_box_arrays(lows, highs, self.shape)
-        n_cells = int(np.prod(self.shape, dtype=np.int64))
-        use_dense = self.is_dense_backed or (
-            n_cells <= DENSE_SWITCH_MAX_CELLS
-            and n_queries * self.n_partitions > DENSE_SWITCH_FACTOR * n_cells
-        )
-        if use_dense:
-            return self._prefix_table().query_arrays(lows, highs)
-        return self.packed.answer_many_arrays(lows, highs)
+        if plan is None and self._dense_wins(n_queries):
+            plan = PLAN_DENSE
+        if plan == PLAN_DENSE:
+            out = self._prefix_table().query_arrays(lows, highs)
+        elif self.is_dense_backed:
+            raise QueryError(
+                f"plan {plan!r} needs a partition list; this private matrix "
+                f"is dense-backed"
+            )
+        elif plan is None:
+            # Plan and (when pruned) answer off one candidate-slice pass.
+            plan, slices = plan_with_slices(self.packed, lows, highs)
+            if plan == PLAN_PRUNED:
+                out = self.packed.interval_index().answer_pruned(
+                    lows, highs, slices=slices
+                )
+            else:
+                out = self.packed.answer_many_arrays(
+                    lows, highs, plan=PLAN_BROADCAST
+                )
+        else:
+            out = self.packed.answer_many_arrays(lows, highs, plan=plan)
+        return (out, plan) if return_plan else out
 
     def answer_continuous(
         self, lows: Sequence[float], highs: Sequence[float]

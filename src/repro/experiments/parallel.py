@@ -102,6 +102,7 @@ def _run_trial(
             n_partitions=private.n_partitions,
             extra=dict(extra or {}),
             query_seconds=query_elapsed,
+            plan=result.plan,
         )
         for result in results
     ]

@@ -51,6 +51,11 @@ class ResultRow:
     #: one, so summing it over rows multi-counts.  Aggregation
     #: (:func:`aggregate_rows`) averages over distinct trials.
     query_seconds: float = 0.0
+    #: Query plan the engine chose for the trial's batched query phase
+    #: (``dense`` / ``broadcast`` / ``pruned``), so ``query_seconds`` is
+    #: attributable to a strategy.  Deterministic for a given matrix and
+    #: workload set, hence identical between serial and parallel runs.
+    plan: str = ""
 
     @property
     def mre(self) -> float:
@@ -64,6 +69,7 @@ class ResultRow:
             "trial": self.trial,
             "sanitize_seconds": self.sanitize_seconds,
             "query_seconds": self.query_seconds,
+            "plan": self.plan,
             "n_partitions": self.n_partitions,
         }
         out.update(self.report.as_dict())
@@ -179,6 +185,9 @@ def aggregate_rows(
         )
         entry["query_seconds"] = float(
             np.mean([t[1] for t in trial_times.values()])
+        )
+        entry["plan"] = "+".join(
+            sorted({m.plan for m in members if m.plan})
         )
         entry["n_partitions"] = float(
             np.mean([m.n_partitions for m in members])

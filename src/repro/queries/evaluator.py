@@ -37,6 +37,10 @@ class EvaluationResult:
     workload: str
     epsilon: float
     report: AccuracyReport
+    #: Query plan the engine chose for the batch this workload was
+    #: answered in (``dense`` / ``broadcast`` / ``pruned``; see
+    #: :meth:`~repro.core.PrivateFrequencyMatrix.plan_queries`).
+    plan: str = ""
 
     @property
     def mre(self) -> float:
@@ -47,6 +51,7 @@ class EvaluationResult:
             "method": self.method,
             "workload": self.workload,
             "epsilon": self.epsilon,
+            "plan": self.plan,
         }
         out.update(self.report.as_dict())
         return out
@@ -100,9 +105,10 @@ class WorkloadEvaluator:
 
         All workloads' boxes are concatenated into a single
         :meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays` call so
-        the engine choice (vectorized geometric kernel vs. dense prefix
-        sums) and any dense reconstruction are amortized across the whole
-        cross product, then the answer vector is split back per workload.
+        the plan choice (broadcast kernel, index-pruned gather, or dense
+        prefix sums) and any dense reconstruction are amortized across
+        the whole cross product, then the answer vector is split back per
+        workload.  The chosen plan is recorded on every result.
         """
         workloads = list(workloads)
         if not workloads:
@@ -111,7 +117,7 @@ class WorkloadEvaluator:
         arrays = [w.as_arrays() for w in workloads]
         lows = np.concatenate([a[0] for a in arrays], axis=0)
         highs = np.concatenate([a[1] for a in arrays], axis=0)
-        estimates = private.answer_arrays(lows, highs)
+        estimates, plan = private.answer_arrays(lows, highs, return_plan=True)
         results: List[EvaluationResult] = []
         offset = 0
         for workload, truth in zip(workloads, truths):
@@ -123,6 +129,7 @@ class WorkloadEvaluator:
                     workload=workload.name,
                     epsilon=private.epsilon,
                     report=accuracy_report(truth, chunk, self._floor),
+                    plan=plan,
                 )
             )
         return results

@@ -1,0 +1,190 @@
+"""Tests for tools/bench_gate.py — the CI benchmark-regression gate.
+
+Run as a subprocess, exactly as CI invokes it: exit code 0 means the
+fresh artifacts hold the line, 1 means a tracked speedup regressed (or a
+tracked series silently disappeared).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+GATE = Path(__file__).resolve().parents[2] / "tools" / "bench_gate.py"
+
+QUERY_BASELINE = {
+    "kernel_speedup": 50.0,
+    "auto_speedup": 4000.0,
+    "pruned_speedup": 10.0,
+    "kernel_max_abs_diff": 2e-10,
+    "auto_max_abs_diff": 3e-10,
+    "pruned_max_abs_diff": 1e-14,
+}
+
+PARALLEL_BASELINE = {
+    "speedup": 2.2,
+    "skipped_low_cores": False,
+    "usable_cores": 8,
+}
+
+
+def write_artifacts(directory, query=None, parallel=None):
+    directory.mkdir(parents=True, exist_ok=True)
+    if query is not None:
+        (directory / "BENCH_query_engine.json").write_text(json.dumps(query))
+    if parallel is not None:
+        (directory / "BENCH_parallel_trials.json").write_text(
+            json.dumps(parallel)
+        )
+
+
+def run_gate(baseline, fresh, *extra):
+    return subprocess.run(
+        [
+            sys.executable, str(GATE),
+            "--baseline", str(baseline),
+            "--fresh", str(fresh),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    return tmp_path / "baseline", tmp_path / "fresh"
+
+
+class TestSpeedupGate:
+    def test_identical_artifacts_pass(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+    def test_small_regression_within_threshold_passes(self, dirs):
+        baseline, fresh = dirs
+        fresh_query = dict(QUERY_BASELINE, kernel_speedup=40.0)  # -20%
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+    @pytest.mark.parametrize(
+        "key", ["kernel_speedup", "auto_speedup", "pruned_speedup"]
+    )
+    def test_large_regression_fails(self, dirs, key):
+        baseline, fresh = dirs
+        fresh_query = dict(QUERY_BASELINE, **{key: QUERY_BASELINE[key] * 0.6})
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert f"FAIL  BENCH_query_engine.json:{key}" in result.stdout
+
+    def test_parallel_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(
+            fresh, QUERY_BASELINE, dict(PARALLEL_BASELINE, speedup=1.0)
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "BENCH_parallel_trials.json:speedup" in result.stdout
+
+    def test_threshold_is_configurable(self, dirs):
+        baseline, fresh = dirs
+        fresh_query = dict(QUERY_BASELINE, kernel_speedup=40.0)  # -20%
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh, "--max-regression", "0.1")
+        assert result.returncode == 1
+
+
+class TestSkippedEntries:
+    def test_skipped_low_cores_fresh_is_ignored(self, dirs):
+        baseline, fresh = dirs
+        skipped = {
+            "skipped_low_cores": True,
+            "usable_cores": 1,
+            "serial_seconds": 3.7,
+            "parallel_seconds": 5.0,
+        }
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, QUERY_BASELINE, skipped)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+        assert "skipped_low_cores" in result.stdout
+
+    def test_skipped_low_cores_baseline_is_ignored(self, dirs):
+        baseline, fresh = dirs
+        skipped = {"skipped_low_cores": True, "usable_cores": 1}
+        write_artifacts(baseline, QUERY_BASELINE, skipped)
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+
+class TestMissingData:
+    def test_missing_fresh_artifact_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, QUERY_BASELINE, None)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "fresh artifact missing" in result.stdout
+
+    def test_tracked_series_disappearing_fails(self, dirs):
+        baseline, fresh = dirs
+        fresh_query = {
+            k: v for k, v in QUERY_BASELINE.items() if k != "pruned_speedup"
+        }
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "disappeared" in result.stdout
+
+    def test_new_series_without_baseline_passes(self, dirs):
+        baseline, fresh = dirs
+        base_query = {
+            k: v for k, v in QUERY_BASELINE.items() if k != "pruned_speedup"
+        }
+        write_artifacts(baseline, base_query, PARALLEL_BASELINE)
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+    @pytest.mark.parametrize("side", ["baseline", "fresh"])
+    def test_corrupt_artifact_fails(self, dirs, side):
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE)
+        broken = (baseline if side == "baseline" else fresh)
+        (broken / "BENCH_query_engine.json").write_text("{not json")
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "unreadable JSON" in result.stdout
+
+    def test_nothing_compared_fails(self, dirs):
+        baseline, fresh = dirs
+        baseline.mkdir()
+        fresh.mkdir()
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "nothing compared" in result.stdout
+
+
+class TestExactnessGate:
+    def test_exactness_ceiling_enforced(self, dirs):
+        baseline, fresh = dirs
+        fresh_query = dict(QUERY_BASELINE, pruned_max_abs_diff=1e-6)
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "pruned_max_abs_diff" in result.stdout
