@@ -27,6 +27,19 @@ def scale():
     return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
 
 
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    Shared by the micro benchmarks that enforce a parallel-speedup floor
+    only on wide-enough machines and write a ``skipped_low_cores``
+    marker otherwise (``tools/bench_gate.py`` ignores marked entries).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def mre_by_method(
     rows: Sequence[Mapping[str, object]], **conditions
 ) -> Dict[str, float]:

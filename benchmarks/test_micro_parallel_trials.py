@@ -21,7 +21,6 @@ is visible across commits.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -31,6 +30,8 @@ import pytest
 from repro.datagen import gaussian_matrix
 from repro.experiments import default_method_specs, run_methods
 from repro.queries import random_workload
+
+from .conftest import usable_cores
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_parallel_trials.json"
 
@@ -53,13 +54,6 @@ EPSILON = 0.2
 RESOLUTION = 2048
 N_POINTS = 1_000_000
 N_QUERIES = 500
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _comparable(row):
@@ -95,7 +89,7 @@ def test_parallel_trials_speedup():
         _comparable(r) for r in parallel_rows
     ]
     speedup = serial_seconds / parallel_seconds
-    cores = _usable_cores()
+    cores = usable_cores()
     threshold_enforced = cores >= N_JOBS
 
     payload = {

@@ -101,6 +101,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     if args.n_jobs is not None:
         scale = scale.with_overrides(n_jobs=args.n_jobs)
+    if args.n_shards is not None:
+        scale = scale.with_overrides(n_shards=args.n_shards)
     result = ALL_ARTIFACTS[args.artifact](scale=scale, rng=args.seed)
     columns = [c for c in result.rows[0] if c not in ("mre_std", "n_trials")]
     print(result.to_text(columns))
@@ -152,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trial parallelism: 1 = serial (default), "
                             "k > 1 = worker processes, -1 = all cores; "
                             "results are identical across settings")
+    p_fig.add_argument("--n-shards", type=int, default=None,
+                       help="force the sharded query engine with this many "
+                            "partition-axis shards per trial (default: let "
+                            "the planner choose; answers agree within 1e-9)")
 
     p_cmp = sub.add_parser("compare", help="compare methods on one dataset")
     _add_dataset_args(p_cmp)

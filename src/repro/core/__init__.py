@@ -32,9 +32,11 @@ from .frequency_matrix import (
     validate_box,
 )
 from .interval_index import (
+    PACKED_PLANS,
     PLAN_BROADCAST,
     PLAN_DENSE,
     PLAN_PRUNED,
+    PLAN_SHARDED,
     IntervalIndex,
     choose_packed_plan,
 )
@@ -44,6 +46,15 @@ from .packed import (
     packed_from_intervals,
     validate_box_arrays,
 )
+from .sharding import (
+    DEFAULT_N_SHARDS,
+    SHARD_SKIPPED,
+    PartitionShard,
+    ShardedAnswer,
+    answer_sharded,
+    shard_bounds,
+    split_shards,
+)
 from .partition import Partition, Partitioning, grid_boxes, split_interval
 from .prefix_sum import PrefixSumTable
 from .private_matrix import PrivateFrequencyMatrix
@@ -52,27 +63,36 @@ from .sparse import SparseFrequencyMatrix
 __all__ = [
     "BudgetError",
     "Box",
+    "DEFAULT_N_SHARDS",
     "DimensionSpec",
     "Domain",
     "FrequencyMatrix",
     "IntervalIndex",
     "MethodError",
+    "PACKED_PLANS",
     "PLAN_BROADCAST",
     "PLAN_DENSE",
     "PLAN_PRUNED",
+    "PLAN_SHARDED",
     "PackedPartitioning",
     "Partition",
+    "PartitionShard",
     "Partitioning",
     "PartitioningError",
     "PrefixSumTable",
     "PrivateFrequencyMatrix",
     "QueryError",
     "ReproError",
+    "SHARD_SKIPPED",
+    "ShardedAnswer",
     "SparseFrequencyMatrix",
     "ValidationError",
+    "answer_sharded",
     "box_n_cells",
     "boxes_to_arrays",
     "choose_packed_plan",
+    "shard_bounds",
+    "split_shards",
     "clip_nonnegative",
     "box_slices",
     "distribution_entropy",

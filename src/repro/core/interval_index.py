@@ -49,6 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 PLAN_DENSE = "dense"
 PLAN_BROADCAST = "broadcast"
 PLAN_PRUNED = "pruned"
+PLAN_SHARDED = "sharded"
+
+#: Plans the packed (partition-backed) engine can execute.  ``dense`` is
+#: handled one level up, by the private matrix's prefix-sum switch.
+PACKED_PLANS = (PLAN_BROADCAST, PLAN_PRUNED, PLAN_SHARDED)
 
 #: Below this many partitions the broadcast kernel is already cheap and
 #: the gather bookkeeping cannot amortize.
@@ -243,8 +248,29 @@ class IntervalIndex:
         return out
 
 
+def candidate_cost_plan(counts: np.ndarray, q: int, k: int) -> str:
+    """The pruned-vs-broadcast pair-cost rule over a candidate bound.
+
+    ``counts`` is the per-query candidate bound (min slice length over
+    dimensions) for a batch of ``q`` queries against ``k`` partitions.
+    The single source of the cost model: :func:`plan_with_slices` and
+    the per-shard planner in :mod:`repro.core.sharding` both route
+    through it, so tuning the constants tunes every path at once.
+    """
+    if k < PRUNE_MIN_PARTITIONS:
+        return PLAN_BROADCAST
+    est_pairs = float(counts.sum()) + q * PRUNE_OVERHEAD_PAIRS
+    if PRUNE_SAFETY_FACTOR * est_pairs < float(q) * k:
+        return PLAN_PRUNED
+    return PLAN_BROADCAST
+
+
 def plan_with_slices(
-    packed: "PackedPartitioning", lows: np.ndarray, highs: np.ndarray
+    packed: "PackedPartitioning",
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    force: str | None = None,
 ) -> Tuple[str, Tuple[np.ndarray, np.ndarray] | None]:
     """Pick :data:`PLAN_PRUNED` or :data:`PLAN_BROADCAST` for a batch.
 
@@ -255,6 +281,16 @@ def plan_with_slices(
     pairs are slower than contiguous ones).  Batches against few
     partitions never prune — there is nothing worth skipping.
 
+    ``force`` pins the outcome to one of :data:`PACKED_PLANS` instead of
+    consulting the cost model.  Forcing :data:`PLAN_PRUNED` on a matrix
+    with fewer than :data:`PRUNE_MIN_PARTITIONS` partitions falls back
+    to :data:`PLAN_BROADCAST` rather than erroring: below the threshold
+    the gather bookkeeping cannot amortize, and the two plans compute
+    identical answers, so the engine silently takes the cheap route.
+    :data:`PLAN_SHARDED` is only ever forced — sharding is an execution
+    *layout* for partition lists that outgrow one node, not a
+    single-node win the cost model could discover.
+
     Returns ``(plan, slices)``: when the index was consulted, ``slices``
     is its :meth:`IntervalIndex.candidate_slices` result for the batch,
     so the pruned path does not recompute it (feed it to
@@ -264,18 +300,32 @@ def plan_with_slices(
     highs = np.asarray(highs, dtype=np.int64)
     q = int(lows.shape[0])
     k = packed.n_partitions
+    if force is not None:
+        if force not in PACKED_PLANS:
+            raise QueryError(
+                f"unknown packed query plan {force!r}; expected one of "
+                f"{', '.join(repr(p) for p in PACKED_PLANS)}"
+            )
+        if force == PLAN_PRUNED:
+            if q == 0 or k < PRUNE_MIN_PARTITIONS:
+                return PLAN_BROADCAST, None
+            return PLAN_PRUNED, packed.interval_index().candidate_slices(
+                lows, highs
+            )
+        return force, None
     if q == 0 or k < PRUNE_MIN_PARTITIONS:
         return PLAN_BROADCAST, None
     slices = packed.interval_index().candidate_slices(lows, highs)
     counts = np.clip(slices[1] - slices[0], 0, None).min(axis=1)
-    est_pairs = float(counts.sum()) + q * PRUNE_OVERHEAD_PAIRS
-    if PRUNE_SAFETY_FACTOR * est_pairs < float(q) * k:
-        return PLAN_PRUNED, slices
-    return PLAN_BROADCAST, slices
+    return candidate_cost_plan(counts, q, k), slices
 
 
 def choose_packed_plan(
-    packed: "PackedPartitioning", lows: np.ndarray, highs: np.ndarray
+    packed: "PackedPartitioning",
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    force: str | None = None,
 ) -> str:
     """:func:`plan_with_slices` for callers that only want the name."""
-    return plan_with_slices(packed, lows, highs)[0]
+    return plan_with_slices(packed, lows, highs, force=force)[0]

@@ -39,8 +39,10 @@ import numpy as np
 from .exceptions import PartitioningError, QueryError
 from .frequency_matrix import Box
 from .interval_index import (
+    PACKED_PLANS,
     PLAN_BROADCAST,
     PLAN_PRUNED,
+    PLAN_SHARDED,
     IntervalIndex,
     choose_packed_plan,
     plan_with_slices,
@@ -48,6 +50,7 @@ from .interval_index import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .partition import Partitioning
+    from .sharding import PartitionShard, ShardedAnswer
 
 #: Target number of elements per broadcast intermediate (~32 MB of
 #: float64).  Query batches are tiled so no single ``(q_tile, k)`` array
@@ -123,7 +126,7 @@ class PackedPartitioning:
     """
 
     __slots__ = ("_lo", "_hi", "_noisy", "_true", "_shape", "_n_cells",
-                 "_weights", "_index")
+                 "_weights", "_index", "_shards")
 
     def __init__(
         self,
@@ -168,6 +171,7 @@ class PackedPartitioning:
         self._n_cells = np.prod(hi - lo + 1, axis=1, dtype=np.int64)
         self._weights: np.ndarray | None = None
         self._index: IntervalIndex | None = None
+        self._shards: dict | None = None
         if validate:
             self._validate_bounds()
             self._validate_exact_cover()
@@ -333,19 +337,67 @@ class PackedPartitioning:
     # ------------------------------------------------------------------
     # The vectorized query kernel
     # ------------------------------------------------------------------
-    def choose_plan(self, lows: np.ndarray, highs: np.ndarray) -> str:
+    def choose_plan(
+        self, lows: np.ndarray, highs: np.ndarray, *, force: str | None = None
+    ) -> str:
         """Planner: pruned gather vs. full broadcast for this batch.
 
         Delegates to :func:`~repro.core.interval_index.choose_packed_plan`
         — the index's summed candidate bound is the cost signal.
+        ``force`` pins a strategy, with the documented graceful fallback
+        for ``pruned`` on sub-threshold partition counts.
         """
-        return choose_packed_plan(self, lows, highs)
+        return choose_packed_plan(self, lows, highs, force=force)
 
     def answer_pruned_arrays(
         self, lows: np.ndarray, highs: np.ndarray
     ) -> np.ndarray:
         """The index-pruned gather strategy (same answers as broadcast)."""
         return self.interval_index().answer_pruned(lows, highs)
+
+    def split_shards(self, n_shards: int | None = None) -> List["PartitionShard"]:
+        """Contiguous partition-axis shards (see :mod:`repro.core.sharding`).
+
+        Cached per effective shard count (requested count clipped to the
+        partition count), mirroring :meth:`interval_index`: repeated
+        batches against the same matrix reuse the shards and the
+        per-shard interval indexes they have lazily built, instead of
+        re-slicing and re-sorting on every call.
+        """
+        from .sharding import DEFAULT_N_SHARDS, split_shards
+
+        if self._shards is None:
+            self._shards = {}
+        requested = DEFAULT_N_SHARDS if n_shards is None else int(n_shards)
+        key = min(requested, self.n_partitions)
+        if key not in self._shards:
+            # split_shards validates the request (>= 1) before anything
+            # is cached.
+            self._shards[key] = split_shards(self, requested)
+        return self._shards[key]
+
+    def answer_sharded_arrays(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        n_shards: int | None = None,
+        executor: object | None = None,
+    ) -> "ShardedAnswer":
+        """The sharded strategy: per-shard partial sums, merged.
+
+        Returns the full :class:`~repro.core.sharding.ShardedAnswer` so
+        callers can inspect which shards skipped; the merged
+        ``.answers`` match the broadcast kernel within float
+        reassociation.  ``executor`` is an ordered-``map`` provider
+        (e.g. :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`);
+        ``None`` evaluates shards serially in-process.
+        """
+        from .sharding import answer_sharded
+
+        return answer_sharded(
+            self, lows, highs, n_shards=n_shards, executor=executor
+        )
 
     def answer_many_arrays(
         self,
@@ -362,12 +414,16 @@ class PackedPartitioning:
         ``(q,)`` float64 vector.
 
         ``plan`` forces a strategy: :data:`~repro.core.interval_index.PLAN_BROADCAST`
-        (the tiled kernel) or :data:`~repro.core.interval_index.PLAN_PRUNED`
-        (interval-index candidate gather).  When ``None`` the planner
-        picks, using the index's candidate bound as the cost signal.  For
-        the broadcast kernel, memory is bounded by tiling the query axis
-        so each ``(q_tile, k)`` intermediate stays under
-        ``tile_elements`` elements.
+        (the tiled kernel), :data:`~repro.core.interval_index.PLAN_PRUNED`
+        (interval-index candidate gather), or
+        :data:`~repro.core.interval_index.PLAN_SHARDED` (partition-axis
+        shards with per-shard skip, merged partial sums — see
+        :meth:`answer_sharded_arrays` for shard-count and executor
+        control).  When ``None`` the planner picks, using the index's
+        candidate bound as the cost signal.  For the broadcast kernel,
+        memory is bounded by tiling the query axis so each
+        ``(q_tile, k)`` intermediate stays under ``tile_elements``
+        elements.
         """
         lows = np.asarray(lows, dtype=np.int64)
         highs = np.asarray(highs, dtype=np.int64)
@@ -381,10 +437,12 @@ class PackedPartitioning:
             return self.interval_index().answer_pruned(
                 lows, highs, slices=slices
             )
+        if plan == PLAN_SHARDED:
+            return self.answer_sharded_arrays(lows, highs).answers
         if plan != PLAN_BROADCAST:
             raise QueryError(
-                f"unknown packed query plan {plan!r}; expected "
-                f"{PLAN_BROADCAST!r} or {PLAN_PRUNED!r}"
+                f"unknown packed query plan {plan!r}; expected one of "
+                f"{', '.join(repr(p) for p in PACKED_PLANS)}"
             )
         k = self.n_partitions
         d = self.ndim

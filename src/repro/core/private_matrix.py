@@ -30,7 +30,13 @@ prefix-sum table does ``O(cells)`` once and then ``O(2^d)`` per query — so
 when ``q × k`` exceeds a multiple of the cell count (and the matrix fits in
 memory) the dense route wins; and when the per-dimension interval index
 (:mod:`repro.core.interval_index`) estimates that most partitions cannot
-overlap the batch's queries, the index-pruned gather skips them.  The plan
+overlap the batch's queries, the index-pruned gather skips them.  A fourth
+plan, ``sharded`` (:mod:`repro.core.sharding`), splits the partition axis
+into contiguous shards that each answer the whole batch (skipping shards
+whose candidate bound is empty) and merges the partial sums; it is selected
+by configuration (``plan="sharded"`` / ``n_shards=...``) rather than the
+cost model, being an execution layout for partition lists that outgrow one
+node.  The plan
 chosen for a batch is observable (:meth:`PrivateFrequencyMatrix.plan_queries`,
 ``answer_arrays(..., return_plan=True)``) and forcible (``plan=...``).  The
 scalar :meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
@@ -50,6 +56,7 @@ from .interval_index import (
     PLAN_BROADCAST,
     PLAN_DENSE,
     PLAN_PRUNED,
+    PLAN_SHARDED,
     plan_with_slices,
 )
 from .packed import PackedPartitioning, boxes_to_arrays, validate_box_arrays
@@ -317,6 +324,8 @@ class PrivateFrequencyMatrix:
         highs: np.ndarray,
         *,
         plan: str | None = None,
+        n_shards: int | None = None,
+        shard_executor: object | None = None,
         return_plan: bool = False,
     ) -> np.ndarray | Tuple[np.ndarray, str]:
         """:meth:`answer_many` for ``(q, d)`` bound arrays.
@@ -328,11 +337,24 @@ class PrivateFrequencyMatrix:
 
         ``plan`` forces a strategy (one of the
         :data:`~repro.core.interval_index.PLAN_DENSE` /
-        ``PLAN_BROADCAST`` / ``PLAN_PRUNED`` names); ``None`` lets
-        :meth:`plan_queries` choose.  With ``return_plan=True`` the
-        result is ``(answers, plan_name)`` so callers can record which
-        engine ran.
+        ``PLAN_BROADCAST`` / ``PLAN_PRUNED`` / ``PLAN_SHARDED`` names);
+        ``None`` lets :meth:`plan_queries` choose.  Passing ``n_shards``
+        selects the sharded plan without naming it; ``shard_executor``
+        is handed to :meth:`~repro.core.packed.PackedPartitioning.answer_sharded_arrays`
+        for process-pool shard fan-out.  Forcing ``pruned`` on a matrix
+        below the pruning threshold silently falls back to the broadcast
+        kernel (identical answers; the reported plan says what actually
+        ran).  With ``return_plan=True`` the result is ``(answers,
+        plan_name)`` so callers can record which engine ran.
         """
+        if n_shards is not None or shard_executor is not None:
+            if plan is None:
+                plan = PLAN_SHARDED
+            elif plan != PLAN_SHARDED:
+                raise QueryError(
+                    f"n_shards/shard_executor only apply to the "
+                    f"{PLAN_SHARDED!r} plan, not {plan!r}"
+                )
         n_queries = int(np.asarray(lows).shape[0])
         if n_queries == 0:
             empty = np.zeros(0, dtype=np.float64)
@@ -347,6 +369,25 @@ class PrivateFrequencyMatrix:
                 f"plan {plan!r} needs a partition list; this private matrix "
                 f"is dense-backed"
             )
+        elif plan == PLAN_SHARDED:
+            out = self.packed.answer_sharded_arrays(
+                lows, highs, n_shards=n_shards, executor=shard_executor
+            ).answers
+        elif plan == PLAN_PRUNED:
+            # Forced pruned routes through the planner's force path so a
+            # sub-threshold matrix degrades to broadcast instead of
+            # paying gather bookkeeping it cannot amortize.
+            plan, slices = plan_with_slices(
+                self.packed, lows, highs, force=PLAN_PRUNED
+            )
+            if plan == PLAN_PRUNED:
+                out = self.packed.interval_index().answer_pruned(
+                    lows, highs, slices=slices
+                )
+            else:
+                out = self.packed.answer_many_arrays(
+                    lows, highs, plan=PLAN_BROADCAST
+                )
         elif plan is None:
             # Plan and (when pruned) answer off one candidate-slice pass.
             plan, slices = plan_with_slices(self.packed, lows, highs)
@@ -361,6 +402,32 @@ class PrivateFrequencyMatrix:
         else:
             out = self.packed.answer_many_arrays(lows, highs, plan=plan)
         return (out, plan) if return_plan else out
+
+    def answer_sharded(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        n_shards: int | None = None,
+        executor: object | None = None,
+    ):
+        """Sharded answering with full per-shard evidence.
+
+        Like ``answer_arrays(plan="sharded")`` but returns the
+        :class:`~repro.core.sharding.ShardedAnswer`, exposing which
+        shards proved they had no candidate partitions and skipped the
+        gather (``skipped_shards`` / ``plans``).  Raises for
+        dense-backed outputs, which have no partition list to shard.
+        """
+        if self.is_dense_backed:
+            raise QueryError(
+                "the sharded plan needs a partition list; this private "
+                "matrix is dense-backed"
+            )
+        lows, highs = validate_box_arrays(lows, highs, self.shape)
+        return self.packed.answer_sharded_arrays(
+            lows, highs, n_shards=n_shards, executor=executor
+        )
 
     def answer_continuous(
         self, lows: Sequence[float], highs: Sequence[float]

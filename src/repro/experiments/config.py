@@ -42,6 +42,13 @@ class ExperimentScale:
         (1 = serial, ``k > 1`` = that many worker processes, -1 = all
         cores).  Results are bit-identical across settings; serial is
         usually faster for tiny grids where process startup dominates.
+    n_shards:
+        When set, each trial's query phase runs through the sharded
+        engine with this many partition-axis shards (``None`` lets the
+        planner route normally).  Answers match the single-node engine
+        within 1e-9; rows record ``plan="sharded"``.  Mostly a scale-out
+        and CI-forcing knob — on one node sharding pays off only when
+        shard skipping bites.
     """
 
     name: str
@@ -52,6 +59,7 @@ class ExperimentScale:
     n_queries: int
     n_trials: int = 1
     n_jobs: int = 1
+    n_shards: int | None = None
 
     def __post_init__(self) -> None:
         for attr in ("n_points", "n_trajectories", "city_resolution",
@@ -61,6 +69,10 @@ class ExperimentScale:
         if self.n_jobs < 1 and self.n_jobs != -1:
             raise ValidationError(
                 f"n_jobs must be >= 1 or -1 (all cores), got {self.n_jobs}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValidationError(
+                f"n_shards must be >= 1 or None, got {self.n_shards}"
             )
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":

@@ -118,6 +118,7 @@ def figure4(
             rows = run_methods(
                 matrix, specs, list(epsilons), [workload],
                 n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+                n_shards=scale.n_shards,
                 extra={"d": d, "skew_fraction": frac, "variance": variance},
             )
             result.rows.extend(
@@ -152,6 +153,7 @@ def figure5(
             rows = run_methods(
                 matrix, specs, [epsilon], [workload],
                 n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+                n_shards=scale.n_shards,
                 extra={"d": d, "zipf_a": a},
             )
             result.rows.extend(
@@ -210,6 +212,7 @@ def figure6(
         rows = run_methods(
             matrix, specs, list(epsilons), workloads,
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+            n_shards=scale.n_shards,
             extra={"city": city_name},
         )
         result.rows.extend(
@@ -265,6 +268,7 @@ def figure8(
         rows = run_methods(
             matrix, specs, list(epsilons), workloads,
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+            n_shards=scale.n_shards,
             extra={"city": city_name, "od_shape": "x".join(map(str, matrix.shape))},
         )
         result.rows.extend(
@@ -301,6 +305,7 @@ def table3(
         rows = run_methods(
             matrix, specs, [epsilon], [workload],
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
+            n_shards=scale.n_shards,
             extra={"city": city_name},
         )
         result.rows.extend(

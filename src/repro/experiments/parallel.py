@@ -71,6 +71,7 @@ def _run_trial(
     task: TrialTask,
     extra: Dict[str, object] | None = None,
     evaluator: WorkloadEvaluator | None = None,
+    n_shards: int | None = None,
 ) -> List["ResultRow"]:
     """Run one trial: sanitize, answer all workloads, build result rows.
 
@@ -78,6 +79,9 @@ def _run_trial(
     arrives through the arguments, and the random stream is rebuilt from
     ``task.entropy`` and ``task.spawn_key`` alone.  ``evaluator`` is an
     optional ground-truth cache; omitting it only costs recomputation.
+    ``n_shards`` forces the sharded query engine on partition-backed
+    outputs (shards run serially inside the trial — the process pool, if
+    any, is already spent on trial-level parallelism).
     """
     from .runner import ResultRow
 
@@ -87,7 +91,7 @@ def _run_trial(
     private = sanitizer.sanitize(matrix, task.epsilon, rng)
     sanitize_elapsed = time.perf_counter() - start
     if evaluator is None:
-        evaluator = WorkloadEvaluator(matrix)
+        evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
     start = time.perf_counter()
     results = evaluator.evaluate_all(private, list(workloads))
     query_elapsed = time.perf_counter() - start
@@ -119,7 +123,14 @@ def resolve_n_jobs(n_jobs: int) -> int:
 
 
 class Executor(abc.ABC):
-    """Maps :class:`TrialTask`s to their result rows, preserving order."""
+    """Maps :class:`TrialTask`s to their result rows, preserving order.
+
+    Executors double as generic ordered-``map`` providers: anything that
+    needs to fan independent work items out (the sharded query engine's
+    per-shard partials, most prominently) can hand a picklable function
+    and an item list to :meth:`map` and get results back in item order,
+    serially or across the backend's process pool.
+    """
 
     @abc.abstractmethod
     def run_trials(
@@ -128,15 +139,20 @@ class Executor(abc.ABC):
         workloads: Sequence[Workload],
         tasks: Sequence[TrialTask],
         extra: Dict[str, object] | None = None,
+        n_shards: int | None = None,
     ) -> List[List["ResultRow"]]:
         """One row list per task, in task order."""
+
+    def map(self, fn, items: Sequence) -> List:
+        """Ordered map over independent items (serial by default)."""
+        return [fn(item) for item in items]
 
 
 class SerialExecutor(Executor):
     """In-process execution; ground truth is computed once and shared."""
 
-    def run_trials(self, matrix, workloads, tasks, extra=None):
-        evaluator = WorkloadEvaluator(matrix)
+    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None):
+        evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
         return [
             _run_trial(matrix, workloads, task, extra, evaluator=evaluator)
             for task in tasks
@@ -154,8 +170,9 @@ def _init_worker(
     matrix: FrequencyMatrix,
     workloads: Sequence[Workload],
     extra: Dict[str, object] | None,
+    n_shards: int | None = None,
 ) -> None:
-    evaluator = WorkloadEvaluator(matrix)
+    evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
     for workload in workloads:
         evaluator.true_answers(workload)  # warm the cache before any trial
     _WORKER_STATE["matrix"] = matrix
@@ -184,27 +201,33 @@ class ProcessPoolTrialExecutor(Executor):
     def __init__(self, n_jobs: int):
         self.n_jobs = resolve_n_jobs(n_jobs)
 
-    def run_trials(self, matrix, workloads, tasks, extra=None):
+    @staticmethod
+    def _fork_context():
+        # Fork is only safe where no BLAS/runtime threads predate it:
+        # macOS forking after Accelerate/ObjC initialization can deadlock
+        # (the reason CPython's default start method there is spawn).
+        if sys.platform == "linux":
+            try:
+                return multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - fork unavailable
+                return None
+        return None
+
+    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None):
         tasks = list(tasks)
         if not tasks:
             return []
         workers = min(self.n_jobs, len(tasks))
         if workers <= 1:
-            return SerialExecutor().run_trials(matrix, workloads, tasks, extra)
-        # Fork is only safe where no BLAS/runtime threads predate it:
-        # macOS forking after Accelerate/ObjC initialization can deadlock
-        # (the reason CPython's default start method there is spawn).
-        ctx = None
-        if sys.platform == "linux":
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - fork unavailable
-                ctx = None
+            return SerialExecutor().run_trials(
+                matrix, workloads, tasks, extra, n_shards
+            )
+        ctx = self._fork_context()
         if ctx is not None:
             # Fork path: stage the state in the parent so workers inherit
             # the matrix, workloads, and warmed ground-truth cache
             # copy-on-write — nothing heavyweight crosses a pipe.
-            _init_worker(matrix, list(workloads), extra)
+            _init_worker(matrix, list(workloads), extra, n_shards)
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers, mp_context=ctx
@@ -215,9 +238,29 @@ class ProcessPoolTrialExecutor(Executor):
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(matrix, list(workloads), extra),
+            initargs=(matrix, list(workloads), extra, n_shards),
         ) as pool:
             return list(pool.map(_run_trial_in_worker, tasks))
+
+    def map(self, fn, items):
+        """Ordered map across the worker pool (used for shard fan-out).
+
+        ``fn`` and every item must be picklable (module-level function,
+        array-backed shards).  Falls back to a serial loop when one
+        worker would do all the work anyway.
+        """
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.n_jobs, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        ctx = self._fork_context()
+        kwargs = {"max_workers": workers}
+        if ctx is not None:
+            kwargs["mp_context"] = ctx
+        with ProcessPoolExecutor(**kwargs) as pool:
+            return list(pool.map(fn, items))
 
 
 def get_executor(n_jobs: int = 1) -> Executor:

@@ -116,6 +116,7 @@ def run_methods(
     extra: Dict[str, object] | None = None,
     n_jobs: int = 1,
     executor: Executor | None = None,
+    n_shards: int | None = None,
 ) -> List[ResultRow]:
     """Evaluate every (method, epsilon) pair on every workload.
 
@@ -128,17 +129,31 @@ def run_methods(
 
     ``n_jobs`` selects the execution backend (1 = serial in-process,
     ``k > 1`` = a pool of ``k`` worker processes, -1 = all cores); an
-    explicit ``executor`` overrides it.  For the same ``rng`` seed every
+    explicit ``executor`` overrides it.  ``n_shards`` forces each
+    trial's query phase through the sharded engine with that many
+    partition-axis shards (dense-backed methods keep their dense route);
+    shards run serially inside each trial, so it composes with
+    ``n_jobs`` without nesting pools.  For the same ``rng`` seed every
     backend returns bit-identical rows in identical order — only the
-    timing fields vary.
+    timing fields vary.  Sharded answers match the single-node engine
+    within float reassociation (1e-9, pinned by the plan-equivalence
+    suite), and the rows' ``plan`` column records ``"sharded"``.
     """
     entropy = derive_entropy(ensure_rng(rng))
     tasks = build_trial_tasks(method_specs, epsilons, n_trials, entropy)
     if executor is None:
         executor = get_executor(n_jobs)
-    row_lists = executor.run_trials(
-        matrix, list(workloads), tasks, dict(extra or {})
-    )
+    if n_shards is None:
+        # The pre-sharding call shape, so Executor implementations
+        # written against it keep working when sharding is off.
+        row_lists = executor.run_trials(
+            matrix, list(workloads), tasks, dict(extra or {})
+        )
+    else:
+        row_lists = executor.run_trials(
+            matrix, list(workloads), tasks, dict(extra or {}),
+            n_shards=n_shards,
+        )
     return [row for rows in row_lists for row in rows]
 
 

@@ -58,13 +58,36 @@ class EvaluationResult:
 
 
 class WorkloadEvaluator:
-    """Caches ground-truth answers for a matrix across many evaluations."""
+    """Caches ground-truth answers for a matrix across many evaluations.
 
-    def __init__(self, matrix: FrequencyMatrix, floor: float = DEFAULT_FLOOR):
+    ``n_shards`` forces partition-backed private matrices through the
+    sharded engine (``plan="sharded"``) with that many partition-axis
+    shards; dense-backed outputs (identity, Privlet) have no partition
+    list to shard and keep their normal dense route.  ``shard_executor``
+    optionally fans the shards across a process pool (an ordered-``map``
+    provider such as
+    :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`) —
+    setting it without ``n_shards`` still selects the sharded plan, at
+    the default shard count, matching
+    :meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays`.  Leave it
+    ``None`` inside trial workers — trial-level parallelism already owns
+    the pool there.
+    """
+
+    def __init__(
+        self,
+        matrix: FrequencyMatrix,
+        floor: float = DEFAULT_FLOOR,
+        *,
+        n_shards: int | None = None,
+        shard_executor: object | None = None,
+    ):
         self._matrix = matrix
         self._floor = floor
         self._table = PrefixSumTable(matrix.data)
         self._truth_cache: Dict[str, np.ndarray] = {}
+        self._n_shards = n_shards
+        self._shard_executor = shard_executor
 
     @property
     def matrix(self) -> FrequencyMatrix:
@@ -117,7 +140,21 @@ class WorkloadEvaluator:
         arrays = [w.as_arrays() for w in workloads]
         lows = np.concatenate([a[0] for a in arrays], axis=0)
         highs = np.concatenate([a[1] for a in arrays], axis=0)
-        estimates, plan = private.answer_arrays(lows, highs, return_plan=True)
+        sharding_requested = (
+            self._n_shards is not None or self._shard_executor is not None
+        )
+        if sharding_requested and not private.is_dense_backed:
+            estimates, plan = private.answer_arrays(
+                lows,
+                highs,
+                n_shards=self._n_shards,
+                shard_executor=self._shard_executor,
+                return_plan=True,
+            )
+        else:
+            estimates, plan = private.answer_arrays(
+                lows, highs, return_plan=True
+            )
         results: List[EvaluationResult] = []
         offset = 0
         for workload, truth in zip(workloads, truths):

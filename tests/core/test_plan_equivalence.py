@@ -1,0 +1,455 @@
+"""Cross-plan equivalence matrix: dense ≡ broadcast ≡ pruned ≡ sharded.
+
+Every strategy the engine can route a batch through must compute the
+same answers — the plan is a choice of *route*, never of *result*.  The
+hypothesis suite pins this across the partitioning families real
+sanitizers emit (uniform grid, AG, quadtree, kd-tree, DAF), shard counts
+``K ∈ {1, 2, 3, 7}`` (plus any count forced through the
+``REPRO_TEST_N_SHARDS`` env var — the CI leg sets 3), and the degenerate
+inputs that historically break query engines: empty batches, full-domain
+queries, single cells, and shard counts exceeding the partition count.
+
+The suite also carries the skip-counter acceptance criterion (a shard
+whose candidate bound is empty must provably skip the gather, observable
+via :attr:`~repro.core.sharding.ShardedAnswer.skipped_shards`) and the
+regression test for the forced-``pruned`` graceful fallback on matrices
+below :data:`~repro.core.interval_index.PRUNE_MIN_PARTITIONS`.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PLAN_BROADCAST,
+    PLAN_DENSE,
+    PLAN_PRUNED,
+    PLAN_SHARDED,
+    SHARD_SKIPPED,
+    FrequencyMatrix,
+    PrivateFrequencyMatrix,
+    QueryError,
+    answer_sharded,
+    boxes_to_arrays,
+    choose_packed_plan,
+    full_box,
+    packed_from_intervals,
+    shard_bounds,
+    split_shards,
+)
+from repro.core.interval_index import PRUNE_MIN_PARTITIONS
+from repro.experiments.parallel import ProcessPoolTrialExecutor
+from repro.methods import get_sanitizer
+from repro.methods._grid import axis_intervals
+from repro.queries import WorkloadEvaluator, random_workload
+
+#: Partition-emitting sanitizer families the equivalence must hold for.
+METHODS = ["uniform", "ag", "quadtree", "kdtree", "daf_entropy"]
+
+#: Shard counts of the equivalence matrix.  7 is deliberately coprime to
+#: the usual power-of-two partition counts, so shard boundaries fall
+#: mid-row; counts larger than the partition list are exercised
+#: separately (they clip).
+SHARD_COUNTS = [1, 2, 3, 7]
+
+#: The CI leg forces an extra shard count through the environment so the
+#: sharded path runs on every push even if the default list changes.
+_env = os.environ.get("REPRO_TEST_N_SHARDS")
+ENV_N_SHARDS = int(_env) if _env else None
+if ENV_N_SHARDS is not None and ENV_N_SHARDS not in SHARD_COUNTS:
+    SHARD_COUNTS.append(ENV_N_SHARDS)
+
+
+def sanitized_private(method, shape, data_seed, noise_seed, epsilon):
+    """A real sanitizer's private matrix over a random Poisson matrix."""
+    rng = np.random.default_rng(data_seed)
+    matrix = FrequencyMatrix(rng.poisson(3.0, shape).astype(float))
+    return get_sanitizer(method).sanitize(matrix, epsilon, noise_seed)
+
+
+def degenerate_and_random_queries(shape, rng, n_random=25):
+    """Random boxes plus the degenerate cases the issue calls out."""
+    boxes = [full_box(shape)]  # full domain
+    boxes.append(tuple((0, 0) for _ in shape))  # single cell at the origin
+    boxes.append(tuple((s - 1, s - 1) for s in shape))  # single cell at the end
+    for _ in range(n_random):
+        box = []
+        for s in shape:
+            a = int(rng.integers(0, s))
+            b = int(rng.integers(0, s))
+            box.append((min(a, b), max(a, b)))
+        boxes.append(tuple(box))
+    return boxes
+
+
+def grid_private(shape=(256, 256), m=64):
+    """The microbenchmark substrate: an m x m grid partitioning."""
+    rng = np.random.default_rng(0)
+    intervals = [axis_intervals(s, m) for s in shape]
+    noisy = rng.poisson(40.0, size=m * m).astype(float)
+    packed = packed_from_intervals(intervals, noisy, shape)
+    return PrivateFrequencyMatrix.from_packed(packed, method="grid")
+
+
+class TestEquivalenceMatrix:
+    """dense ≡ broadcast ≡ pruned ≡ sharded on sanitizer output."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        method=st.sampled_from(METHODS),
+        shape=st.tuples(st.integers(8, 40), st.integers(8, 40)),
+        data_seed=st.integers(0, 2**16),
+        noise_seed=st.integers(0, 2**16),
+        epsilon=st.sampled_from([0.1, 0.5, 2.0]),
+    )
+    def test_all_plans_agree(
+        self, method, shape, data_seed, noise_seed, epsilon
+    ):
+        private = sanitized_private(
+            method, shape, data_seed, noise_seed, epsilon
+        )
+        rng = np.random.default_rng(data_seed ^ noise_seed)
+        boxes = degenerate_and_random_queries(shape, rng)
+        lows, highs = boxes_to_arrays(boxes)
+        broadcast = private.answer_arrays(lows, highs, plan=PLAN_BROADCAST)
+        # Forced pruned may fall back to broadcast below the pruning
+        # threshold — either way the values must match.
+        pruned = private.answer_arrays(lows, highs, plan=PLAN_PRUNED)
+        dense = private.answer_arrays(lows, highs, plan=PLAN_DENSE)
+        np.testing.assert_allclose(pruned, broadcast, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(dense, broadcast, rtol=1e-9, atol=1e-6)
+        for n_shards in SHARD_COUNTS:
+            sharded = private.answer_arrays(
+                lows, highs, plan=PLAN_SHARDED, n_shards=n_shards
+            )
+            np.testing.assert_allclose(
+                sharded, broadcast, rtol=0, atol=1e-9,
+                err_msg=f"sharded(K={n_shards}) diverged from broadcast",
+            )
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_reports_its_plan(self, method, n_shards):
+        private = sanitized_private(method, (20, 24), 3, 5, 0.5)
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (20, 24), np.random.default_rng(1), n_random=10
+            )
+        )
+        answers, plan = private.answer_arrays(
+            lows, highs, n_shards=n_shards, return_plan=True
+        )
+        assert plan == PLAN_SHARDED
+        np.testing.assert_allclose(
+            answers,
+            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
+
+
+class TestShardEdgeCases:
+    def test_empty_batch(self):
+        private = grid_private(shape=(16, 16), m=4)  # 16 partitions
+        empty = np.empty((0, 2), dtype=np.int64)
+        result = private.answer_sharded(empty, empty, n_shards=3)
+        assert result.answers.size == 0
+        assert result.skipped_shards == result.n_shards == 3
+        answers, plan = private.answer_arrays(
+            empty, empty, n_shards=3, return_plan=True
+        )
+        assert answers.size == 0 and plan == PLAN_SHARDED
+
+    def test_shard_count_exceeding_partition_count(self):
+        private = sanitized_private("kdtree", (16, 16), 2, 3, 0.5)
+        k = private.n_partitions
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (16, 16), np.random.default_rng(4), n_random=10
+            )
+        )
+        result = private.answer_sharded(lows, highs, n_shards=10 * k)
+        assert result.n_shards == k  # clipped: one partition per shard
+        np.testing.assert_allclose(
+            result.answers,
+            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    def test_shard_bounds_partition_the_axis(self):
+        for k, n in [(1, 1), (5, 2), (7, 7), (12, 5), (100, 7), (3, 9)]:
+            bounds = shard_bounds(k, n)
+            assert bounds[0][0] == 0 and bounds[-1][1] == k
+            assert all(b[1] == c[0] for b, c in zip(bounds, bounds[1:]))
+            sizes = [stop - start for start, stop in bounds]
+            assert min(sizes) >= 1 and max(sizes) - min(sizes) <= 1
+            assert len(bounds) == min(k, n)
+
+    def test_invalid_shard_counts_rejected(self):
+        private = sanitized_private("uniform", (16, 16), 0, 0, 1.0)
+        one = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(QueryError, match="n_shards"):
+            private.answer_sharded(one, one, n_shards=0)
+        with pytest.raises(QueryError, match="n_shards"):
+            shard_bounds(10, -2)
+
+    def test_n_shards_conflicts_with_other_plans(self):
+        private = grid_private()
+        one = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(QueryError, match="sharded"):
+            private.answer_arrays(one, one, plan=PLAN_PRUNED, n_shards=2)
+
+    def test_sharded_rejected_on_dense_backed(self):
+        dense = PrivateFrequencyMatrix.from_dense_noisy(np.ones((8, 8)))
+        one = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(QueryError, match="dense-backed"):
+            dense.answer_arrays(one, one, plan=PLAN_SHARDED)
+        with pytest.raises(QueryError, match="dense-backed"):
+            dense.answer_sharded(one, one, n_shards=2)
+
+
+class TestShardSkipping:
+    """The acceptance criterion: empty shards provably skip the gather."""
+
+    def test_corner_queries_skip_far_shards(self):
+        private = grid_private()
+        packed = private.packed
+        rng = np.random.default_rng(7)
+        # Queries confined to the top-left 1/8 of the rows: partitions
+        # are enumerated row-major, so later shards cannot overlap.
+        lows = np.stack(
+            [rng.integers(0, 32, size=200), rng.integers(0, 256, size=200)],
+            axis=1,
+        ).astype(np.int64)
+        highs = lows + rng.integers(0, 3, size=lows.shape)
+        highs = np.minimum(highs, [[31, 255]])
+        result = private.answer_sharded(lows, highs, n_shards=8)
+        assert result.skipped_shards > 0
+        assert result.plans.count(SHARD_SKIPPED) == result.skipped_shards
+        # Every skip is provable: brute-force overlap over the shard's
+        # partition range finds nothing.
+        lo, hi = packed.lo, packed.hi
+        for (start, stop), plan in zip(result.bounds, result.plans):
+            overlaps = np.logical_and(
+                lo[None, start:stop, :] <= highs[:, None, :],
+                hi[None, start:stop, :] >= lows[:, None, :],
+            ).all(axis=2)
+            if plan == SHARD_SKIPPED:
+                assert not overlaps.any()
+            else:
+                assert overlaps.any()
+        np.testing.assert_allclose(
+            result.answers,
+            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    def test_full_domain_queries_skip_nothing(self):
+        private = grid_private()
+        lows, highs = boxes_to_arrays([full_box((256, 256))])
+        result = private.answer_sharded(lows, highs, n_shards=4)
+        assert result.skipped_shards == 0
+
+
+class TestShardExecutors:
+    """Shards compute identical partials serially and across a pool."""
+
+    def test_process_pool_matches_serial(self):
+        private = grid_private(shape=(64, 64), m=16)
+        rng = np.random.default_rng(11)
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries((64, 64), rng, n_random=20)
+        )
+        serial = private.answer_sharded(lows, highs, n_shards=3)
+        pooled = private.answer_sharded(
+            lows, highs, n_shards=3, executor=ProcessPoolTrialExecutor(2)
+        )
+        np.testing.assert_array_equal(serial.answers, pooled.answers)
+        assert serial.plans == pooled.plans
+        assert serial.bounds == pooled.bounds
+
+    def test_executor_map_preserves_order(self):
+        items = list(range(7))
+        assert ProcessPoolTrialExecutor(2).map(abs, items) == items
+
+    def test_shards_are_cached_per_effective_count(self):
+        packed = grid_private(shape=(64, 64), m=16).packed
+        first = packed.split_shards(4)
+        assert packed.split_shards(4) is first  # same objects, same indexes
+        # A request clipping to the same effective count shares the entry.
+        small = grid_private(shape=(16, 16), m=2).packed  # 4 partitions
+        assert small.split_shards(9) is small.split_shards(100)
+        # Repeated batches must not rebuild shards (the cached objects
+        # carry their lazily built interval indexes with them).
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (64, 64), np.random.default_rng(12), n_random=5
+            )
+        )
+        packed.answer_sharded_arrays(lows, highs, n_shards=4)
+        assert packed.split_shards(4) is first
+
+
+class TestForcedPrunedFallback:
+    """Regression: forcing ``pruned`` below the threshold must not error."""
+
+    def test_choose_packed_plan_falls_back(self):
+        private = grid_private(shape=(16, 16), m=4)  # 16 partitions
+        assert private.n_partitions < PRUNE_MIN_PARTITIONS
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (16, 16), np.random.default_rng(0), n_random=5
+            )
+        )
+        assert (
+            choose_packed_plan(private.packed, lows, highs, force=PLAN_PRUNED)
+            == PLAN_BROADCAST
+        )
+
+    def test_answer_arrays_reports_the_fallback(self):
+        private = grid_private(shape=(16, 16), m=4)
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (16, 16), np.random.default_rng(1), n_random=5
+            )
+        )
+        answers, plan = private.answer_arrays(
+            lows, highs, plan=PLAN_PRUNED, return_plan=True
+        )
+        assert plan == PLAN_BROADCAST  # fell back, and says so
+        np.testing.assert_allclose(
+            answers,
+            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    def test_force_honored_above_threshold(self):
+        private = grid_private()  # 4096 partitions
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (256, 256), np.random.default_rng(2), n_random=5
+            )
+        )
+        assert (
+            choose_packed_plan(private.packed, lows, highs, force=PLAN_PRUNED)
+            == PLAN_PRUNED
+        )
+        _, plan = private.answer_arrays(
+            lows, highs, plan=PLAN_PRUNED, return_plan=True
+        )
+        assert plan == PLAN_PRUNED
+
+    def test_unknown_force_rejected(self):
+        private = grid_private(shape=(16, 16), m=4)
+        one = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(QueryError, match="unknown packed query plan"):
+            choose_packed_plan(private.packed, one, one, force="sideways")
+
+
+class TestEvaluatorAndRunnerPlumbing:
+    """The sharded engine reached through the evaluation stack."""
+
+    def test_evaluator_records_sharded_plan(self):
+        rng = np.random.default_rng(5)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
+        private = get_sanitizer("kdtree").sanitize(matrix, 0.5, 7)
+        workload = random_workload(matrix.shape, 40, rng=3)
+        plain = WorkloadEvaluator(matrix).evaluate(private, workload)
+        sharded = WorkloadEvaluator(matrix, n_shards=3).evaluate(
+            private, workload
+        )
+        assert sharded.plan == PLAN_SHARDED
+        assert sharded.report.mre == pytest.approx(plain.report.mre, abs=1e-6)
+
+    def test_evaluator_shard_executor_alone_selects_sharded(self):
+        # Matching answer_arrays: configuring only the executor still
+        # routes through the sharded plan (at the default shard count).
+        rng = np.random.default_rng(13)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
+        private = get_sanitizer("kdtree").sanitize(matrix, 0.5, 7)
+        workload = random_workload(matrix.shape, 30, rng=3)
+
+        class CountingMap:
+            calls = 0
+
+            def map(self, fn, items):
+                CountingMap.calls += 1
+                return [fn(item) for item in items]
+
+        result = WorkloadEvaluator(
+            matrix, shard_executor=CountingMap()
+        ).evaluate(private, workload)
+        assert result.plan == PLAN_SHARDED
+        assert CountingMap.calls == 1
+
+    def test_evaluator_keeps_dense_route_for_dense_backed(self):
+        rng = np.random.default_rng(6)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (16, 16)).astype(float))
+        private = get_sanitizer("identity").sanitize(matrix, 0.5, 7)
+        workload = random_workload(matrix.shape, 20, rng=3)
+        result = WorkloadEvaluator(matrix, n_shards=3).evaluate(
+            private, workload
+        )
+        assert result.plan == PLAN_DENSE
+
+    def test_run_methods_n_shards_stamps_rows(self):
+        from repro.experiments import default_method_specs, run_methods
+
+        rng = np.random.default_rng(8)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (20, 20)).astype(float))
+        workload = random_workload(matrix.shape, 25, rng=4)
+        rows = run_methods(
+            matrix,
+            default_method_specs(["kdtree", "identity"]),
+            [0.5],
+            [workload],
+            rng=1,
+            n_shards=2,
+        )
+        plans = {r.method: r.plan for r in rows}
+        assert plans["kdtree"] == PLAN_SHARDED
+        assert plans["identity"] == PLAN_DENSE  # dense-backed: no shards
+
+    @pytest.mark.skipif(
+        ENV_N_SHARDS is None, reason="REPRO_TEST_N_SHARDS not set"
+    )
+    def test_env_forced_shard_count_is_exercised(self):
+        """The CI leg's env-forced K flows through the evaluator stack."""
+        rng = np.random.default_rng(9)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
+        private = get_sanitizer("quadtree").sanitize(matrix, 0.5, 7)
+        lows, highs = random_workload(matrix.shape, 30, rng=5).as_arrays()
+        result = private.answer_sharded(lows, highs, n_shards=ENV_N_SHARDS)
+        assert result.n_shards == min(ENV_N_SHARDS, private.n_partitions)
+        np.testing.assert_allclose(
+            result.answers,
+            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
+
+
+def test_answer_sharded_function_matches_method():
+    """The module-level entry point and packed method agree."""
+    private = grid_private(shape=(64, 64), m=16)
+    lows, highs = boxes_to_arrays(
+        degenerate_and_random_queries(
+            (64, 64), np.random.default_rng(10), n_random=10
+        )
+    )
+    via_fn = answer_sharded(private.packed, lows, highs, n_shards=5)
+    via_method = private.packed.answer_sharded_arrays(
+        lows, highs, n_shards=5
+    )
+    np.testing.assert_array_equal(via_fn.answers, via_method.answers)
+    assert len(split_shards(private.packed, 5)) == 5

@@ -42,6 +42,13 @@ class TestScale:
         with pytest.raises(ValidationError):
             ExperimentScale("x", 0, 1, 1, 1, 1)
 
+    def test_n_shards_validation(self):
+        with pytest.raises(ValidationError):
+            ExperimentScale("x", 1, 1, 1, 1, 1, n_shards=0)
+        assert ExperimentScale("x", 1, 1, 1, 1, 1).n_shards is None
+        s = TINY_SCALE.with_overrides(n_shards=3)
+        assert s.n_shards == 3
+
 
 class TestMethodSpec:
     def test_plain_label(self):
@@ -123,7 +130,7 @@ class TestTrialTimingAggregation:
     trial's rows; aggregation must average over trials, not rows."""
 
     @staticmethod
-    def _row(workload, trial, sanitize_s, query_s):
+    def _row(workload, trial, sanitize_s, query_s, plan=""):
         from repro.queries.metrics import AccuracyReport
 
         report = AccuracyReport(
@@ -134,7 +141,7 @@ class TestTrialTimingAggregation:
         return ResultRow(
             method="m", epsilon=1.0, workload=workload, trial=trial,
             report=report, sanitize_seconds=sanitize_s, n_partitions=4,
-            extra={}, query_seconds=query_s,
+            extra={}, query_seconds=query_s, plan=plan,
         )
 
     def test_query_seconds_shared_across_trial_rows(self, small_2d, rng):
@@ -173,3 +180,62 @@ class TestTrialTimingAggregation:
         agg = aggregate_rows(rows, keys=("method", "epsilon"))
         assert agg[0]["query_seconds"] == pytest.approx(0.5)
         assert agg[0]["sanitize_seconds"] == pytest.approx(4.0)
+
+
+class TestMixedPlanAggregation:
+    """A (method, epsilon) group whose trials took different query plans.
+
+    The planner decides per batch, so trials of one group can
+    legitimately split between plans (a borderline q x k near the dense
+    switch, or an n_shards run mixed with archived serial rows).  The
+    aggregate must list every plan that ran, deterministically.
+    """
+
+    _row = staticmethod(TestTrialTimingAggregation._row)
+
+    def test_mixed_plans_join_sorted_and_deduplicated(self):
+        rows = [
+            self._row("w1", 0, 1.0, 0.1, plan="pruned"),
+            self._row("w1", 1, 1.0, 0.1, plan="broadcast"),
+            self._row("w1", 2, 1.0, 0.1, plan="sharded"),
+            self._row("w1", 3, 1.0, 0.1, plan="pruned"),
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert len(agg) == 1
+        assert agg[0]["plan"] == "broadcast+pruned+sharded"
+
+    def test_blank_plans_are_dropped_from_the_join(self):
+        rows = [
+            self._row("w1", 0, 1.0, 0.1, plan="dense"),
+            self._row("w1", 1, 1.0, 0.1, plan=""),  # legacy row, no plan
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert agg[0]["plan"] == "dense"
+
+    def test_all_blank_plans_aggregate_to_empty(self):
+        rows = [self._row("w1", t, 1.0, 0.1) for t in (0, 1)]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert agg[0]["plan"] == ""
+
+    def test_homogeneous_plan_unchanged(self):
+        rows = [
+            self._row(w, t, 1.0, 0.1, plan="sharded")
+            for w in ("w1", "w2") for t in (0, 1)
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert agg[0]["plan"] == "sharded"
+        assert agg[0]["n_trials"] == 4
+
+    def test_mixed_plans_do_not_perturb_timing_aggregation(self):
+        # Plan differences must not affect the per-trial dedup of the
+        # timing fields.
+        rows = [
+            self._row("w1", 0, 2.0, 0.4, plan="broadcast"),
+            self._row("w2", 0, 2.0, 0.4, plan="broadcast"),
+            self._row("w1", 1, 4.0, 0.8, plan="sharded"),
+            self._row("w2", 1, 4.0, 0.8, plan="sharded"),
+        ]
+        agg = aggregate_rows(rows, keys=("method", "epsilon"))
+        assert agg[0]["plan"] == "broadcast+sharded"
+        assert agg[0]["query_seconds"] == pytest.approx(0.6)
+        assert agg[0]["sanitize_seconds"] == pytest.approx(3.0)

@@ -116,9 +116,9 @@ class ScrambledExecutor(SerialExecutor):
     execution order, this would diverge from the serial run.
     """
 
-    def run_trials(self, matrix, workloads, tasks, extra=None):
+    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None):
         reversed_rows = super().run_trials(
-            matrix, workloads, list(reversed(tasks)), extra
+            matrix, workloads, list(reversed(tasks)), extra, n_shards
         )
         return list(reversed(reversed_rows))
 

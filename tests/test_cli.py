@@ -25,6 +25,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "figure99"])
 
+    def test_figure_n_shards_flag(self):
+        args = build_parser().parse_args(
+            ["figure", "table3", "--n-shards", "3"]
+        )
+        assert args.n_shards == 3
+        assert build_parser().parse_args(["figure", "table3"]).n_shards is None
+
 
 class TestCommands:
     def test_methods_lists_all(self, capsys):
@@ -75,3 +82,12 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "daf_entropy" in out
+
+    def test_figure_with_forced_sharding(self, capsys):
+        # The sharded engine end-to-end through the CLI: partitioned
+        # methods must report plan=sharded in the rendered rows.
+        code = main(
+            ["figure", "table3", "--scale", "tiny", "--n-shards", "2"]
+        )
+        assert code == 0
+        assert "sharded" in capsys.readouterr().out

@@ -29,8 +29,16 @@ PARALLEL_BASELINE = {
     "usable_cores": 8,
 }
 
+SHARDED_BASELINE = {
+    "speedup": 2.1,
+    "skip_rate": 0.875,
+    "sharded_max_abs_diff": 2e-10,
+    "skipped_low_cores": False,
+    "usable_cores": 8,
+}
 
-def write_artifacts(directory, query=None, parallel=None):
+
+def write_artifacts(directory, query=None, parallel=None, sharded=None):
     directory.mkdir(parents=True, exist_ok=True)
     if query is not None:
         (directory / "BENCH_query_engine.json").write_text(json.dumps(query))
@@ -38,6 +46,8 @@ def write_artifacts(directory, query=None, parallel=None):
         (directory / "BENCH_parallel_trials.json").write_text(
             json.dumps(parallel)
         )
+    if sharded is not None:
+        (directory / "BENCH_sharded.json").write_text(json.dumps(sharded))
 
 
 def run_gate(baseline, fresh, *extra):
@@ -129,6 +139,67 @@ class TestSkippedEntries:
         assert result.returncode == 0, result.stdout
 
 
+class TestShardedArtifact:
+    """BENCH_sharded.json is tracked like the other speedup artifacts."""
+
+    def test_identical_sharded_artifacts_pass(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+        assert "BENCH_sharded.json:speedup" in result.stdout
+
+    def test_sharded_speedup_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            dict(SHARDED_BASELINE, speedup=1.0),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "FAIL  BENCH_sharded.json:speedup" in result.stdout
+
+    def test_sharded_exactness_ceiling_enforced_despite_skip_marker(self, dirs):
+        # A narrow machine may not measure a speedup, but merged answers
+        # diverging from broadcast is a correctness bug on any machine.
+        baseline, fresh = dirs
+        skipped_but_wrong = dict(
+            SHARDED_BASELINE,
+            skipped_low_cores=True,
+            usable_cores=1,
+            sharded_max_abs_diff=1e-6,
+        )
+        skipped_but_wrong.pop("speedup")
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE, skipped_but_wrong
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "sharded_max_abs_diff" in result.stdout
+
+    def test_sharded_skip_marker_ignores_speedup(self, dirs):
+        baseline, fresh = dirs
+        skipped = dict(SHARDED_BASELINE, skipped_low_cores=True, usable_cores=1)
+        skipped.pop("speedup")
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
+        )
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE, skipped)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+
 class TestMissingData:
     def test_missing_fresh_artifact_fails(self, dirs):
         baseline, fresh = dirs
@@ -188,3 +259,32 @@ class TestExactnessGate:
         result = run_gate(baseline, fresh)
         assert result.returncode == 1
         assert "pruned_max_abs_diff" in result.stdout
+
+    def test_exactness_series_disappearing_fails(self, dirs):
+        # The disappearance rule covers exactness ceilings too: a fresh
+        # artifact that stops emitting a tracked *_max_abs_diff must
+        # fail, not silently drop the 1e-9 enforcement.
+        baseline, fresh = dirs
+        fresh_query = {
+            k: v for k, v in QUERY_BASELINE.items()
+            if k != "pruned_max_abs_diff"
+        }
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(fresh, fresh_query, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "pruned_max_abs_diff: tracked series disappeared" \
+            in result.stdout
+
+    def test_exactness_enforced_without_baseline(self, dirs):
+        # Ceilings are absolute: a brand-new artifact with no baseline
+        # still has its exactness fields checked.
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            dict(SHARDED_BASELINE, sharded_max_abs_diff=1e-6),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "sharded_max_abs_diff" in result.stdout

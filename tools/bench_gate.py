@@ -16,7 +16,8 @@ Usage (what the CI ``bench-gate`` job runs; also works locally)::
     mkdir -p /tmp/bench-baseline && mv BENCH_*.json /tmp/bench-baseline/
     REPRO_BENCH_SCALE=tiny PYTHONPATH=src python -m pytest \
         benchmarks/test_micro_query_engine.py \
-        benchmarks/test_micro_parallel_trials.py -q
+        benchmarks/test_micro_parallel_trials.py \
+        benchmarks/test_micro_sharded.py -q
     python tools/bench_gate.py --baseline /tmp/bench-baseline --fresh .
 
 Rules
@@ -25,13 +26,19 @@ Rules
   and ``pruned_speedup`` must each stay within ``--max-regression``
   (default 30%) of the baseline value; ``*_max_abs_diff`` fields must
   stay at or below ``--max-abs-diff`` (default 1e-9).
-* ``BENCH_parallel_trials.json`` — ``speedup`` is compared the same
-  way, but an entry marked ``skipped_low_cores`` (on either side) is
-  ignored: a narrow machine measures the machine, not the code.
+* ``BENCH_parallel_trials.json`` / ``BENCH_sharded.json`` — ``speedup``
+  is compared the same way, but an entry marked ``skipped_low_cores``
+  (on either side) is ignored: a narrow machine measures the machine,
+  not the code.  ``BENCH_sharded.json``'s ``sharded_max_abs_diff``
+  exactness ceiling is enforced regardless of the marker.
 * A key present in the baseline but missing from a fresh artifact (or a
   missing fresh artifact) fails the gate — silently dropping a tracked
-  series is itself a regression.  Keys only the fresh side has are
-  reported and pass (a new series starts its own baseline).
+  series is itself a regression.  This applies to exactness series as
+  much as speedups, and skip markers do not excuse it.  Keys only the
+  fresh side has are reported and pass (a new series starts its own
+  baseline); exactness ceilings are enforced on a fresh artifact even
+  when no baseline exists, being absolute rather than
+  baseline-relative.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ SPEEDUP_KEYS = {
         "pruned_speedup",
     ],
     "BENCH_parallel_trials.json": ["speedup"],
+    "BENCH_sharded.json": ["speedup"],
 }
 
 #: Exactness fields (absolute ceilings, not baseline-relative).
@@ -58,6 +66,7 @@ ABS_DIFF_KEYS = {
         "auto_max_abs_diff",
         "pruned_max_abs_diff",
     ],
+    "BENCH_sharded.json": ["sharded_max_abs_diff"],
 }
 
 #: An artifact with this key set to true is excluded from speedup
@@ -101,13 +110,15 @@ def gate(
             failures += 1  # load() already printed which side
             continue
         if base is None:
+            # No baseline: nothing to compare speedups against, but the
+            # fresh artifact's absolute exactness ceilings (below) still
+            # apply — they are baseline-independent.
             print(f"skip  {name}: no baseline artifact")
-            continue
-        if fresh is None:
+        elif fresh is None:
             print(f"FAIL  {name}: fresh artifact missing")
             failures += 1
             continue
-        if base.get(SKIP_MARKER) or fresh.get(SKIP_MARKER):
+        elif base.get(SKIP_MARKER) or fresh.get(SKIP_MARKER):
             side = "baseline" if base.get(SKIP_MARKER) else "fresh"
             print(f"skip  {name}: {SKIP_MARKER} marker ({side})")
         else:
@@ -131,8 +142,17 @@ def gate(
                 failures += 0 if ok else 1
             for key in set(fresh) & set(keys) - set(base):
                 print(f"new   {name}:{key}: {float(fresh[key]):.2f}")
+        if fresh is None:
+            continue
         for key in ABS_DIFF_KEYS.get(name, []):
             if key not in fresh:
+                # The disappearance rule applies to exactness series
+                # too: a ceiling the baseline tracked must not vanish
+                # silently (skip markers do not excuse it — exactness
+                # holds on any machine).
+                if base is not None and key in base:
+                    print(f"FAIL  {name}:{key}: tracked series disappeared")
+                    failures += 1
                 continue
             diff = float(fresh[key])
             ok = diff <= max_abs_diff
