@@ -31,6 +31,8 @@ from repro.core import (
     boxes_to_arrays,
     packed_from_intervals,
 )
+from repro.core.interval_index import PRUNE_OVERHEAD_PAIRS
+from repro.engine import Engine, QueryRequest
 from repro.methods._grid import axis_intervals
 from repro.queries import random_workload
 
@@ -89,10 +91,11 @@ def test_vectorized_speedup_and_exactness(private_256, workload_10k):
     )
     kernel_seconds = time.perf_counter() - start
 
-    # answer_many with the automatic planner (dense prefix sums win at
-    # this q x k, so this also exercises the cost model).
+    # The engine facade with the automatic planner (dense prefix sums
+    # win at this q x k, so this also exercises the cost model).
     start = time.perf_counter()
-    auto, auto_plan = private_256.answer_arrays(lows, highs, return_plan=True)
+    result = Engine(private_256).answer(QueryRequest(lows, highs))
+    auto, auto_plan = result.answers, result.plan
     auto_seconds = time.perf_counter() - start
 
     kernel_speedup = scalar_per_query / (kernel_seconds / N_QUERIES)
@@ -172,6 +175,7 @@ def test_pruned_plan_speedup_on_small_queries(private_256):
         {
             "small_query_extent": SMALL_QUERY_EXTENT,
             "small_query_candidate_fraction": mean_fraction,
+            "prune_overhead_pairs": float(PRUNE_OVERHEAD_PAIRS),
             "broadcast_seconds_small": broadcast_seconds,
             "pruned_seconds_small": pruned_seconds,
             "pruned_speedup": pruned_speedup,

@@ -30,6 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import PLAN_BROADCAST, PrivateFrequencyMatrix, packed_from_intervals
+from repro.engine import Engine, EngineConfig
 from repro.experiments.parallel import ProcessPoolTrialExecutor
 from repro.methods._grid import axis_intervals
 
@@ -82,9 +83,9 @@ def test_sharded_skip_exactness_and_speedup():
     skip_highs = np.minimum(
         skip_highs, np.array([SHAPE[0] // SKIP_SHARDS - 1, SHAPE[1] - 1])
     )
-    skip_result = private.answer_sharded(
-        skip_lows, skip_highs, n_shards=SKIP_SHARDS
-    )
+    skip_result = Engine(
+        private, EngineConfig(n_shards=SKIP_SHARDS)
+    ).answer_sharded(skip_lows, skip_highs)
     skip_broadcast = packed.answer_many_arrays(
         skip_lows, skip_highs, plan=PLAN_BROADCAST
     )
@@ -98,19 +99,21 @@ def test_sharded_skip_exactness_and_speedup():
     highs = np.maximum(a, b).astype(np.int64)
 
     pool = ProcessPoolTrialExecutor(N_JOBS)
+    serial_engine = Engine(private, EngineConfig(n_shards=N_SHARDS))
+    pooled_engine = Engine(
+        private, EngineConfig(n_shards=N_SHARDS, shard_executor=pool)
+    )
     # Warm both paths (per-shard index builds, worker pool import cost
     # is per-call and stays in the measurement — that is the real cost a
     # caller pays — but the index caches should not be).
-    serial_warm = private.answer_sharded(lows, highs, n_shards=N_SHARDS)
+    serial_warm = serial_engine.answer_sharded(lows, highs)
 
     start = time.perf_counter()
-    serial = private.answer_sharded(lows, highs, n_shards=N_SHARDS)
+    serial = serial_engine.answer_sharded(lows, highs)
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    pooled = private.answer_sharded(
-        lows, highs, n_shards=N_SHARDS, executor=pool
-    )
+    pooled = pooled_engine.answer_sharded(lows, highs)
     parallel_seconds = time.perf_counter() - start
 
     broadcast = packed.answer_many_arrays(lows, highs, plan=PLAN_BROADCAST)

@@ -59,6 +59,13 @@ from .methods import (
     available_methods,
     get_sanitizer,
 )
+from .engine import (
+    AsyncBatchEngine,
+    Engine,
+    EngineConfig,
+    QueryAnswer,
+    QueryRequest,
+)
 from .queries import (
     Workload,
     WorkloadEvaluator,
@@ -78,6 +85,7 @@ from .trajectories import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncBatchEngine",
     "BudgetError",
     "BudgetLedger",
     "Box",
@@ -87,6 +95,8 @@ __all__ = [
     "Domain",
     "EBP",
     "EUG",
+    "Engine",
+    "EngineConfig",
     "FrequencyMatrix",
     "GeometricMechanism",
     "Identity",
@@ -101,7 +111,9 @@ __all__ = [
     "PrefixSumTable",
     "PrivateFrequencyMatrix",
     "Privlet",
+    "QueryAnswer",
     "QueryError",
+    "QueryRequest",
     "Quadtree",
     "ReproError",
     "Sanitizer",

@@ -12,18 +12,39 @@ Commands
     scale and print its panels.
 ``compare``
     MRE comparison table of several methods on one dataset.
+``serve``
+    Async micro-batching smoke demo: sanitize once, then fire N
+    concurrent asyncio clients at an
+    :class:`~repro.engine.AsyncBatchEngine` and report tick stats,
+    amortized latency, and batched-vs-serial drift (expected 0).
+
+Every query-answering command accepts ``--engine-config`` with
+comma-separated ``key=value`` pairs over the
+:class:`~repro.engine.EngineConfig` fields (e.g.
+``--engine-config plan=sharded,n_shards=4``); values layer on top of
+any ``REPRO_ENGINE_*`` environment overrides.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import time
 from typing import List
 
+import numpy as np
+
 from .core.frequency_matrix import FrequencyMatrix
 from .datagen import get_city, gaussian_matrix, zipf_matrix
+from .engine import (
+    AsyncBatchEngine,
+    Engine,
+    EngineConfig,
+    QueryRequest,
+    gather_answers,
+)
 from .experiments import ALL_ARTIFACTS, get_scale
 from .methods import available_methods, get_sanitizer
 from .queries import WorkloadEvaluator, random_workload
@@ -63,6 +84,22 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_engine_config_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine-config", default=None, metavar="KEY=VALUE[,...]",
+        help="engine tuning overrides (EngineConfig fields, e.g. "
+             "plan=sharded,n_shards=4); layered over REPRO_ENGINE_* env vars",
+    )
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    """The command's engine config: env overrides, then the CLI flag."""
+    config = EngineConfig.from_env()
+    if getattr(args, "engine_config", None):
+        config = EngineConfig.from_string(args.engine_config, base=config)
+    return config
+
+
 def cmd_methods(_: argparse.Namespace) -> int:
     for name in available_methods():
         print(f"{name:18s} {type(get_sanitizer(name)).__doc__.strip().splitlines()[0]}")
@@ -78,7 +115,9 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     private = sanitizer.sanitize(matrix, args.epsilon, rng=args.seed + 1)
     elapsed = time.perf_counter() - start
     workload = random_workload(matrix.shape, args.n_queries, rng=args.seed + 2)
-    result = WorkloadEvaluator(matrix).evaluate(private, workload)
+    result = WorkloadEvaluator(
+        matrix, engine_config=_engine_config(args)
+    ).evaluate(private, workload)
     print(
         f"method={args.method} eps={args.epsilon} "
         f"partitions={private.n_partitions} time={elapsed:.2f}s "
@@ -103,6 +142,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
         scale = scale.with_overrides(n_jobs=args.n_jobs)
     if args.n_shards is not None:
         scale = scale.with_overrides(n_shards=args.n_shards)
+    config = _engine_config(args)
+    if config != EngineConfig():
+        # Only a real override lands on the scale — a default config
+        # would needlessly conflict with the legacy --n-shards knob.
+        scale = scale.with_overrides(engine_config=config)
     result = ALL_ARTIFACTS[args.artifact](scale=scale, rng=args.seed)
     columns = [c for c in result.rows[0] if c not in ("mre_std", "n_trials")]
     print(result.to_text(columns))
@@ -111,7 +155,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     matrix = _build_dataset(args)
-    evaluator = WorkloadEvaluator(matrix)
+    evaluator = WorkloadEvaluator(matrix, engine_config=_engine_config(args))
     workload = random_workload(matrix.shape, args.n_queries, rng=args.seed + 2)
     methods: List[str] = args.methods or available_methods()
     print(f"{'method':18s} {'MRE %':>10s} {'partitions':>11s} {'time':>8s}")
@@ -124,6 +168,61 @@ def cmd_compare(args: argparse.Namespace) -> int:
         mre = evaluator.evaluate(private, workload).mre
         print(f"{name:18s} {mre:10.2f} {private.n_partitions:11d} "
               f"{elapsed:7.2f}s")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Async micro-batching smoke demo over one sanitized dataset.
+
+    Simulates ``--clients`` concurrent asyncio clients, each awaiting
+    its own small random batch against one
+    :class:`~repro.engine.AsyncBatchEngine`, then checks the batched
+    answers against serial :meth:`~repro.engine.Engine.answer` calls
+    and prints tick statistics and amortized per-query latency.
+    """
+    matrix = _build_dataset(args)
+    print(f"dataset: shape={matrix.shape}, N={matrix.total:,.0f}",
+          file=sys.stderr)
+    sanitizer = get_sanitizer(args.method)
+    private = sanitizer.sanitize(matrix, args.epsilon, rng=args.seed + 1)
+    config = _engine_config(args)
+    engine = Engine(private, config)
+    requests = [
+        QueryRequest(
+            *random_workload(
+                matrix.shape, args.queries_per_client, rng=args.seed + 3 + i
+            ).as_arrays(),
+            workload=f"client-{i}",
+        )
+        for i in range(args.clients)
+    ]
+
+    async def demo():
+        batcher = AsyncBatchEngine(engine)
+        start = time.perf_counter()
+        answers = await gather_answers(batcher, requests)
+        elapsed = time.perf_counter() - start
+        return answers, elapsed, batcher.stats
+
+    answers, batched_seconds, stats = asyncio.run(demo())
+
+    start = time.perf_counter()
+    serial = [engine.answer(request) for request in requests]
+    serial_seconds = time.perf_counter() - start
+    drift = max(
+        (float(np.abs(s.answers - a.answers).max()) if len(a) else 0.0)
+        for s, a in zip(serial, answers)
+    )
+    n_queries = sum(len(a) for a in answers)
+    plans = sorted({a.plan for a in answers})
+    print(
+        f"served {stats['answered_requests']:.0f} clients "
+        f"({n_queries} queries) in {stats['ticks']:.0f} tick(s), "
+        f"plan(s) {'+'.join(plans)}; "
+        f"batched {1e6 * batched_seconds / max(1, n_queries):.1f} us/query "
+        f"vs serial {1e6 * serial_seconds / max(1, n_queries):.1f} us/query; "
+        f"max |batched - serial| = {drift:.3g}"
+    )
     return 0
 
 
@@ -144,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--epsilon", type=float, default=0.1)
     p_san.add_argument("--n-queries", type=int, default=500)
     p_san.add_argument("--output", help="write publishable JSON here")
+    _add_engine_config_arg(p_san)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("artifact", choices=sorted(ALL_ARTIFACTS))
@@ -158,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force the sharded query engine with this many "
                             "partition-axis shards per trial (default: let "
                             "the planner choose; answers agree within 1e-9)")
+    _add_engine_config_arg(p_fig)
 
     p_cmp = sub.add_parser("compare", help="compare methods on one dataset")
     _add_dataset_args(p_cmp)
@@ -165,6 +266,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subset of methods (default: all)")
     p_cmp.add_argument("--epsilon", type=float, default=0.1)
     p_cmp.add_argument("--n-queries", type=int, default=500)
+    _add_engine_config_arg(p_cmp)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="async micro-batching smoke demo (concurrent clients, "
+             "one engine call per tick)",
+    )
+    _add_dataset_args(p_srv)
+    p_srv.add_argument("--method", default="ag", choices=available_methods())
+    p_srv.add_argument("--epsilon", type=float, default=0.5)
+    p_srv.add_argument("--clients", type=int, default=32,
+                       help="simulated concurrent clients")
+    p_srv.add_argument("--queries-per-client", type=int, default=4)
+    _add_engine_config_arg(p_srv)
 
     return parser
 
@@ -176,6 +291,7 @@ def main(argv: List[str] | None = None) -> int:
         "sanitize": cmd_sanitize,
         "figure": cmd_figure,
         "compare": cmd_compare,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

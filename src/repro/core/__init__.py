@@ -38,6 +38,7 @@ from .interval_index import (
     PLAN_PRUNED,
     PLAN_SHARDED,
     IntervalIndex,
+    PlanCost,
     choose_packed_plan,
 )
 from .packed import (
@@ -74,6 +75,7 @@ __all__ = [
     "PLAN_DENSE",
     "PLAN_PRUNED",
     "PLAN_SHARDED",
+    "PlanCost",
     "PackedPartitioning",
     "Partition",
     "PartitionShard",

@@ -35,6 +35,7 @@ that no query in a batch touches (see ROADMAP).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
@@ -75,6 +76,28 @@ PRUNE_SAFETY_FACTOR = 8.0
 #: of the pruned strategy, so peak memory stays bounded like the
 #: broadcast kernel's query tiling.
 GATHER_TILE_PAIRS = 2_000_000
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """The pruned-vs-broadcast cost rule's tunable constants.
+
+    One value object threads the rule through every planning path —
+    the single-node planner (:func:`plan_with_slices`), the per-shard
+    planner (:meth:`repro.core.sharding.PartitionShard.partial`), and
+    the engine facade's :class:`~repro.engine.EngineConfig` — so a
+    calibration override tunes them all at once.  The defaults are the
+    historical module constants; plain frozen data, so it pickles with
+    shard tasks.
+    """
+
+    min_partitions: int = PRUNE_MIN_PARTITIONS
+    overhead_pairs: float = PRUNE_OVERHEAD_PAIRS
+    safety_factor: float = PRUNE_SAFETY_FACTOR
+
+
+#: The module-constant rule, used wherever no override is supplied.
+DEFAULT_PLAN_COST = PlanCost()
 
 
 class IntervalIndex:
@@ -248,7 +271,9 @@ class IntervalIndex:
         return out
 
 
-def candidate_cost_plan(counts: np.ndarray, q: int, k: int) -> str:
+def candidate_cost_plan(
+    counts: np.ndarray, q: int, k: int, cost: PlanCost | None = None
+) -> str:
     """The pruned-vs-broadcast pair-cost rule over a candidate bound.
 
     ``counts`` is the per-query candidate bound (min slice length over
@@ -256,11 +281,15 @@ def candidate_cost_plan(counts: np.ndarray, q: int, k: int) -> str:
     The single source of the cost model: :func:`plan_with_slices` and
     the per-shard planner in :mod:`repro.core.sharding` both route
     through it, so tuning the constants tunes every path at once.
+    ``cost`` overrides the rule's constants (``None`` uses the module
+    defaults, :data:`DEFAULT_PLAN_COST`).
     """
-    if k < PRUNE_MIN_PARTITIONS:
+    if cost is None:
+        cost = DEFAULT_PLAN_COST
+    if k < cost.min_partitions:
         return PLAN_BROADCAST
-    est_pairs = float(counts.sum()) + q * PRUNE_OVERHEAD_PAIRS
-    if PRUNE_SAFETY_FACTOR * est_pairs < float(q) * k:
+    est_pairs = float(counts.sum()) + q * cost.overhead_pairs
+    if cost.safety_factor * est_pairs < float(q) * k:
         return PLAN_PRUNED
     return PLAN_BROADCAST
 
@@ -271,6 +300,7 @@ def plan_with_slices(
     highs: np.ndarray,
     *,
     force: str | None = None,
+    cost: PlanCost | None = None,
 ) -> Tuple[str, Tuple[np.ndarray, np.ndarray] | None]:
     """Pick :data:`PLAN_PRUNED` or :data:`PLAN_BROADCAST` for a batch.
 
@@ -294,8 +324,11 @@ def plan_with_slices(
     Returns ``(plan, slices)``: when the index was consulted, ``slices``
     is its :meth:`IntervalIndex.candidate_slices` result for the batch,
     so the pruned path does not recompute it (feed it to
-    :meth:`IntervalIndex.answer_pruned`).
+    :meth:`IntervalIndex.answer_pruned`).  ``cost`` overrides the cost
+    rule's constants (see :class:`PlanCost`).
     """
+    if cost is None:
+        cost = DEFAULT_PLAN_COST
     lows = np.asarray(lows, dtype=np.int64)
     highs = np.asarray(highs, dtype=np.int64)
     q = int(lows.shape[0])
@@ -307,17 +340,17 @@ def plan_with_slices(
                 f"{', '.join(repr(p) for p in PACKED_PLANS)}"
             )
         if force == PLAN_PRUNED:
-            if q == 0 or k < PRUNE_MIN_PARTITIONS:
+            if q == 0 or k < cost.min_partitions:
                 return PLAN_BROADCAST, None
             return PLAN_PRUNED, packed.interval_index().candidate_slices(
                 lows, highs
             )
         return force, None
-    if q == 0 or k < PRUNE_MIN_PARTITIONS:
+    if q == 0 or k < cost.min_partitions:
         return PLAN_BROADCAST, None
     slices = packed.interval_index().candidate_slices(lows, highs)
     counts = np.clip(slices[1] - slices[0], 0, None).min(axis=1)
-    return candidate_cost_plan(counts, q, k), slices
+    return candidate_cost_plan(counts, q, k, cost), slices
 
 
 def choose_packed_plan(
@@ -326,6 +359,7 @@ def choose_packed_plan(
     highs: np.ndarray,
     *,
     force: str | None = None,
+    cost: PlanCost | None = None,
 ) -> str:
     """:func:`plan_with_slices` for callers that only want the name."""
-    return plan_with_slices(packed, lows, highs, force=force)[0]
+    return plan_with_slices(packed, lows, highs, force=force, cost=cost)[0]

@@ -44,6 +44,7 @@ from .interval_index import (
     PLAN_PRUNED,
     PLAN_SHARDED,
     IntervalIndex,
+    PlanCost,
     choose_packed_plan,
     plan_with_slices,
 )
@@ -338,16 +339,23 @@ class PackedPartitioning:
     # The vectorized query kernel
     # ------------------------------------------------------------------
     def choose_plan(
-        self, lows: np.ndarray, highs: np.ndarray, *, force: str | None = None
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        force: str | None = None,
+        cost: "PlanCost | None" = None,
     ) -> str:
         """Planner: pruned gather vs. full broadcast for this batch.
 
         Delegates to :func:`~repro.core.interval_index.choose_packed_plan`
         — the index's summed candidate bound is the cost signal.
         ``force`` pins a strategy, with the documented graceful fallback
-        for ``pruned`` on sub-threshold partition counts.
+        for ``pruned`` on sub-threshold partition counts; ``cost``
+        overrides the rule's constants
+        (:class:`~repro.core.interval_index.PlanCost`).
         """
-        return choose_packed_plan(self, lows, highs, force=force)
+        return choose_packed_plan(self, lows, highs, force=force, cost=cost)
 
     def answer_pruned_arrays(
         self, lows: np.ndarray, highs: np.ndarray
@@ -383,6 +391,7 @@ class PackedPartitioning:
         *,
         n_shards: int | None = None,
         executor: object | None = None,
+        cost: "PlanCost | None" = None,
     ) -> "ShardedAnswer":
         """The sharded strategy: per-shard partial sums, merged.
 
@@ -391,12 +400,14 @@ class PackedPartitioning:
         ``.answers`` match the broadcast kernel within float
         reassociation.  ``executor`` is an ordered-``map`` provider
         (e.g. :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`);
-        ``None`` evaluates shards serially in-process.
+        ``None`` evaluates shards serially in-process.  ``cost``
+        overrides the per-shard planning constants.
         """
         from .sharding import answer_sharded
 
         return answer_sharded(
-            self, lows, highs, n_shards=n_shards, executor=executor
+            self, lows, highs, n_shards=n_shards, executor=executor,
+            cost=cost,
         )
 
     def answer_many_arrays(
@@ -466,7 +477,14 @@ class PackedPartitioning:
                 ov += 1
                 np.clip(ov, 0, None, out=ov)
                 overlap *= ov
-            out[start:stop] = overlap @ weights
+            # Contract against the weights with einsum rather than a
+            # BLAS matvec: BLAS picks its reduction tree from the
+            # *matrix* shape, so one query's sum could change with the
+            # batch it rides in, while einsum's per-row reduction order
+            # depends only on k — every query's answer is bit-identical
+            # across batch compositions, which the async micro-batching
+            # endpoint's determinism guarantee rests on.
+            out[start:stop] = np.einsum("qk,k->q", overlap, weights)
         return out
 
     def answer_many(self, boxes: Sequence[Box]) -> np.ndarray:

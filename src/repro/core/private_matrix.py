@@ -36,32 +36,40 @@ into contiguous shards that each answer the whole batch (skipping shards
 whose candidate bound is empty) and merges the partial sums; it is selected
 by configuration (``plan="sharded"`` / ``n_shards=...``) rather than the
 cost model, being an execution layout for partition lists that outgrow one
-node.  The plan
-chosen for a batch is observable (:meth:`PrivateFrequencyMatrix.plan_queries`,
-``answer_arrays(..., return_plan=True)``) and forcible (``plan=...``).  The
-scalar :meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
+node.
+
+All of that routing now lives in the :mod:`repro.engine` facade: an
+:class:`~repro.engine.Engine` bound to an
+:class:`~repro.engine.EngineConfig` is the public query surface
+(:meth:`answer_many` routes through a cached default-config engine, and
+the plan chosen for a batch is observable via
+:meth:`PrivateFrequencyMatrix.plan_queries` or the engine's
+:class:`~repro.engine.QueryAnswer`).  The kwarg-era entry points
+:meth:`~PrivateFrequencyMatrix.answer_arrays` and
+:meth:`~PrivateFrequencyMatrix.answer_sharded` survive as deprecated
+shims with their exact historical contract.  The scalar
+:meth:`~PrivateFrequencyMatrix.answer` loop is kept as the reference
 implementation; every engine is asserted against it by the test suite.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from .domain import Domain
 from .exceptions import QueryError, ValidationError
 from .frequency_matrix import Box, FrequencyMatrix, box_slices, validate_box
-from .interval_index import (
-    PLAN_BROADCAST,
-    PLAN_DENSE,
-    PLAN_PRUNED,
-    PLAN_SHARDED,
-    plan_with_slices,
-)
-from .packed import PackedPartitioning, boxes_to_arrays, validate_box_arrays
+from .interval_index import PLAN_SHARDED
+from .packed import PackedPartitioning, boxes_to_arrays
 from .partition import Partition, Partitioning
 from .prefix_sum import PrefixSumTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import Engine
+    from .sharding import ShardedAnswer
 
 #: Matrices larger than this are never densified for querying.
 DENSE_SWITCH_MAX_CELLS = 50_000_000
@@ -93,7 +101,8 @@ class PrivateFrequencyMatrix:
     """
 
     __slots__ = ("_partitioning", "_packed", "_domain", "_epsilon", "_method",
-                 "_metadata", "_dense_cache", "_prefix_cache", "_shape")
+                 "_metadata", "_dense_cache", "_prefix_cache", "_shape",
+                 "_engine_cache")
 
     def __init__(
         self,
@@ -180,6 +189,7 @@ class PrivateFrequencyMatrix:
         self._method = str(method)
         self._metadata: Dict[str, object] = dict(metadata or {})
         self._prefix_cache: PrefixSumTable | None = None
+        self._engine_cache: "Engine | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -279,20 +289,20 @@ class PrivateFrequencyMatrix:
         """Answer a workload of box queries, vectorized.
 
         Boxes are validated once up front (not per partition per query),
-        then routed to one of three strategies by the cost model described
-        in the module docstring: the packed broadcast kernel, the
-        interval-index pruned gather, or a dense prefix-sum
-        reconstruction when ``n_queries × n_partitions`` would dwarf the
-        cell count.
+        then routed by a default-config :class:`~repro.engine.Engine`
+        through the cost model described in the module docstring: the
+        packed broadcast kernel, the interval-index pruned gather, or a
+        dense prefix-sum reconstruction when ``n_queries × n_partitions``
+        would dwarf the cell count.
         """
         boxes = list(boxes)
         if not boxes:
             return np.zeros(0, dtype=np.float64)
         lows, highs = boxes_to_arrays(boxes)
-        return self.answer_arrays(lows, highs)
+        return self._default_engine().answer_arrays(lows, highs)
 
     def plan_queries(self, lows: np.ndarray, highs: np.ndarray) -> str:
-        """The strategy :meth:`answer_arrays` would pick for this batch.
+        """The strategy the default engine would pick for this batch.
 
         One of :data:`~repro.core.interval_index.PLAN_DENSE` (prefix-sum
         reconstruction), :data:`~repro.core.interval_index.PLAN_BROADCAST`
@@ -301,22 +311,15 @@ class PrivateFrequencyMatrix:
         candidate gather).  Pure: answers nothing, but may lazily build
         the interval index it uses as the cost signal.
         """
-        lows, highs = validate_box_arrays(lows, highs, self.shape)
-        return self._plan(lows, highs)
+        return self._default_engine().plan_queries(lows, highs)
 
-    def _dense_wins(self, n_queries: int) -> bool:
-        """The dense prefix-sum switch, checked before any index work."""
-        n_cells = int(np.prod(self.shape, dtype=np.int64))
-        return self.is_dense_backed or (
-            n_cells <= DENSE_SWITCH_MAX_CELLS
-            and n_queries * self.n_partitions > DENSE_SWITCH_FACTOR * n_cells
-        )
+    def _default_engine(self) -> "Engine":
+        """A cached default-config engine for the internal query paths."""
+        if self._engine_cache is None:
+            from ..engine import Engine
 
-    def _plan(self, lows: np.ndarray, highs: np.ndarray) -> str:
-        """Cost model over validated bounds (see module docstring)."""
-        if self._dense_wins(int(lows.shape[0])):
-            return PLAN_DENSE
-        return self.packed.choose_plan(lows, highs)
+            self._engine_cache = Engine(self)
+        return self._engine_cache
 
     def answer_arrays(
         self,
@@ -328,80 +331,34 @@ class PrivateFrequencyMatrix:
         shard_executor: object | None = None,
         return_plan: bool = False,
     ) -> np.ndarray | Tuple[np.ndarray, str]:
-        """:meth:`answer_many` for ``(q, d)`` bound arrays.
+        """Deprecated: use :meth:`repro.engine.Engine.answer`.
 
-        The workload evaluator calls this directly with cached arrays so
-        repeated evaluations skip box-list conversion entirely.  Bounds
-        are still checked — vectorized, one pass over the batch rather
-        than per partition per query.
+        The kwarg-era batch entry point, kept as a thin shim over the
+        engine facade with its exact historical contract — same
+        answers, same reported plans, same errors (the regression suite
+        pins this).  The kwargs map onto
+        :class:`~repro.engine.EngineConfig` fields one-for-one::
 
-        ``plan`` forces a strategy (one of the
-        :data:`~repro.core.interval_index.PLAN_DENSE` /
-        ``PLAN_BROADCAST`` / ``PLAN_PRUNED`` / ``PLAN_SHARDED`` names);
-        ``None`` lets :meth:`plan_queries` choose.  Passing ``n_shards``
-        selects the sharded plan without naming it; ``shard_executor``
-        is handed to :meth:`~repro.core.packed.PackedPartitioning.answer_sharded_arrays`
-        for process-pool shard fan-out.  Forcing ``pruned`` on a matrix
-        below the pruning threshold silently falls back to the broadcast
-        kernel (identical answers; the reported plan says what actually
-        ran).  With ``return_plan=True`` the result is ``(answers,
-        plan_name)`` so callers can record which engine ran.
+            answer_arrays(lows, highs, plan=p, n_shards=k)
+            == Engine(self, EngineConfig(plan=p, n_shards=k))
+                   .answer(QueryRequest(lows, highs)).answers
         """
-        if n_shards is not None or shard_executor is not None:
-            if plan is None:
-                plan = PLAN_SHARDED
-            elif plan != PLAN_SHARDED:
-                raise QueryError(
-                    f"n_shards/shard_executor only apply to the "
-                    f"{PLAN_SHARDED!r} plan, not {plan!r}"
-                )
-        n_queries = int(np.asarray(lows).shape[0])
-        if n_queries == 0:
-            empty = np.zeros(0, dtype=np.float64)
-            return (empty, plan or PLAN_BROADCAST) if return_plan else empty
-        lows, highs = validate_box_arrays(lows, highs, self.shape)
-        if plan is None and self._dense_wins(n_queries):
-            plan = PLAN_DENSE
-        if plan == PLAN_DENSE:
-            out = self._prefix_table().query_arrays(lows, highs)
-        elif self.is_dense_backed:
-            raise QueryError(
-                f"plan {plan!r} needs a partition list; this private matrix "
-                f"is dense-backed"
-            )
-        elif plan == PLAN_SHARDED:
-            out = self.packed.answer_sharded_arrays(
-                lows, highs, n_shards=n_shards, executor=shard_executor
-            ).answers
-        elif plan == PLAN_PRUNED:
-            # Forced pruned routes through the planner's force path so a
-            # sub-threshold matrix degrades to broadcast instead of
-            # paying gather bookkeeping it cannot amortize.
-            plan, slices = plan_with_slices(
-                self.packed, lows, highs, force=PLAN_PRUNED
-            )
-            if plan == PLAN_PRUNED:
-                out = self.packed.interval_index().answer_pruned(
-                    lows, highs, slices=slices
-                )
-            else:
-                out = self.packed.answer_many_arrays(
-                    lows, highs, plan=PLAN_BROADCAST
-                )
-        elif plan is None:
-            # Plan and (when pruned) answer off one candidate-slice pass.
-            plan, slices = plan_with_slices(self.packed, lows, highs)
-            if plan == PLAN_PRUNED:
-                out = self.packed.interval_index().answer_pruned(
-                    lows, highs, slices=slices
-                )
-            else:
-                out = self.packed.answer_many_arrays(
-                    lows, highs, plan=PLAN_BROADCAST
-                )
-        else:
-            out = self.packed.answer_many_arrays(lows, highs, plan=plan)
-        return (out, plan) if return_plan else out
+        warnings.warn(
+            "PrivateFrequencyMatrix.answer_arrays is deprecated; build a "
+            "repro.engine.Engine with an EngineConfig and call "
+            "Engine.answer (or Engine.answer_arrays) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..engine import Engine, EngineConfig, QueryRequest
+
+        if (n_shards is not None or shard_executor is not None) and plan is None:
+            plan = PLAN_SHARDED
+        config = EngineConfig(
+            plan=plan, n_shards=n_shards, shard_executor=shard_executor
+        )
+        result = Engine(self, config).answer(QueryRequest(lows, highs))
+        return (result.answers, result.plan) if return_plan else result.answers
 
     def answer_sharded(
         self,
@@ -410,24 +367,28 @@ class PrivateFrequencyMatrix:
         *,
         n_shards: int | None = None,
         executor: object | None = None,
-    ):
-        """Sharded answering with full per-shard evidence.
+    ) -> "ShardedAnswer":
+        """Deprecated: use :meth:`repro.engine.Engine.answer_sharded`.
 
-        Like ``answer_arrays(plan="sharded")`` but returns the
-        :class:`~repro.core.sharding.ShardedAnswer`, exposing which
-        shards proved they had no candidate partitions and skipped the
-        gather (``skipped_shards`` / ``plans``).  Raises for
-        dense-backed outputs, which have no partition list to shard.
+        The kwarg-era sharded entry point with full per-shard evidence,
+        kept as a shim over an engine configured for the sharded
+        layout.  Raises for dense-backed outputs, which have no
+        partition list to shard.
         """
-        if self.is_dense_backed:
-            raise QueryError(
-                "the sharded plan needs a partition list; this private "
-                "matrix is dense-backed"
-            )
-        lows, highs = validate_box_arrays(lows, highs, self.shape)
-        return self.packed.answer_sharded_arrays(
-            lows, highs, n_shards=n_shards, executor=executor
+        warnings.warn(
+            "PrivateFrequencyMatrix.answer_sharded is deprecated; build a "
+            "repro.engine.Engine with EngineConfig(n_shards=...) and call "
+            "Engine.answer_sharded (or Engine.answer, which carries the "
+            "per-shard evidence on its QueryAnswer) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from ..engine import Engine, EngineConfig
+
+        config = EngineConfig(
+            plan=PLAN_SHARDED, n_shards=n_shards, shard_executor=executor
+        )
+        return Engine(self, config).answer_sharded(lows, highs)
 
     def answer_continuous(
         self, lows: Sequence[float], highs: Sequence[float]

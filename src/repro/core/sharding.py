@@ -52,6 +52,7 @@ from .exceptions import QueryError
 from .interval_index import (
     PLAN_BROADCAST,
     PLAN_PRUNED,
+    PlanCost,
     candidate_cost_plan,
 )
 from .packed import PackedPartitioning
@@ -131,7 +132,10 @@ class PartitionShard:
         return f"PartitionShard([{self.start}, {self.stop}))"
 
     def partial(
-        self, lows: np.ndarray, highs: np.ndarray
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        cost: PlanCost | None = None,
     ) -> Tuple[np.ndarray | None, str]:
         """This shard's partial answers for the batch, or a provable skip.
 
@@ -141,8 +145,10 @@ class PartitionShard:
         under-counts, so a zero bound proves no query box intersects any
         partition in this shard and the partial would be exactly zero.
         Otherwise the shard picks the pruned gather or the broadcast
-        kernel with the same cost rule as the single-node planner,
-        reusing the slices the skip test already computed.
+        kernel with the same cost rule as the single-node planner
+        (``cost`` overrides its constants — see
+        :class:`~repro.core.interval_index.PlanCost`), reusing the
+        slices the skip test already computed.
         """
         index = self.packed.interval_index()
         slice_start, slice_stop = index.candidate_slices(lows, highs)
@@ -150,7 +156,7 @@ class PartitionShard:
         if not counts.any():
             return None, SHARD_SKIPPED
         q = int(lows.shape[0])
-        plan = candidate_cost_plan(counts, q, self.n_partitions)
+        plan = candidate_cost_plan(counts, q, self.n_partitions, cost)
         if plan == PLAN_PRUNED:
             return (
                 index.answer_pruned(
@@ -211,11 +217,11 @@ def split_shards(
 
 
 def _shard_partial(
-    task: Tuple[PartitionShard, np.ndarray, np.ndarray]
+    task: Tuple[PartitionShard, np.ndarray, np.ndarray, PlanCost | None]
 ) -> Tuple[np.ndarray | None, str]:
     """Module-level task body so pool executors can pickle it by name."""
-    shard, lows, highs = task
-    return shard.partial(lows, highs)
+    shard, lows, highs, cost = task
+    return shard.partial(lows, highs, cost)
 
 
 def answer_sharded(
@@ -225,15 +231,19 @@ def answer_sharded(
     *,
     n_shards: int | None = None,
     executor: object | None = None,
+    cost: PlanCost | None = None,
 ) -> ShardedAnswer:
     """Answer a validated batch by summing per-shard partial answers.
 
     ``executor`` is anything with an ordered ``map(fn, items)`` method
     (e.g. the :mod:`repro.experiments.parallel` backends); ``None`` runs
-    the shards serially in-process.  The merge is a fixed-order sum over
-    shards, so the result is independent of where each partial was
-    computed, and matches the one-node broadcast kernel within float
-    reassociation (the equivalence suite pins this at 1e-9).
+    the shards serially in-process.  ``cost`` overrides the per-shard
+    pruned-vs-broadcast rule's constants (it ships with each shard
+    task, so pooled and serial execution plan identically).  The merge
+    is a fixed-order sum over shards, so the result is independent of
+    where each partial was computed, and matches the one-node broadcast
+    kernel within float reassociation (the equivalence suite pins this
+    at 1e-9).
     """
     lows = np.asarray(lows, dtype=np.int64)
     highs = np.asarray(highs, dtype=np.int64)
@@ -248,7 +258,7 @@ def answer_sharded(
             bounds=bounds,
             plans=(SHARD_SKIPPED,) * len(shards),
         )
-    tasks = [(shard, lows, highs) for shard in shards]
+    tasks = [(shard, lows, highs, cost) for shard in shards]
     if executor is None:
         partials: Sequence[Tuple[np.ndarray | None, str]] = [
             _shard_partial(task) for task in tasks

@@ -1,0 +1,37 @@
+"""repro.engine — the unified query-serving facade.
+
+The single public API for answering range-query batches against a
+sanitized :class:`~repro.core.PrivateFrequencyMatrix`:
+
+* :class:`EngineConfig` — every tuning knob (plan forcing, shard
+  layout, dense-switch and pruning thresholds, async flush thresholds)
+  in one validated object, overridable from ``key=value`` strings and
+  ``REPRO_ENGINE_*`` environment variables;
+* :class:`QueryRequest` / :class:`QueryAnswer` — typed request and
+  response carrying the batch, the plan that ran, per-shard evidence,
+  and timing;
+* :class:`Engine` — the synchronous facade wrapping plan selection and
+  all four execution strategies;
+* :class:`AsyncBatchEngine` — the asyncio micro-batching endpoint that
+  coalesces concurrent clients into ticks answered by one engine
+  invocation each.
+
+The kwarg-era entry points
+(``PrivateFrequencyMatrix.answer_arrays``/``answer_sharded``) survive
+as deprecated shims over :class:`Engine`.
+"""
+
+from .api import QueryAnswer, QueryRequest
+from .async_batch import AsyncBatchEngine, gather_answers
+from .config import ENGINE_PLANS, EngineConfig
+from .engine import Engine
+
+__all__ = [
+    "ENGINE_PLANS",
+    "AsyncBatchEngine",
+    "Engine",
+    "EngineConfig",
+    "QueryAnswer",
+    "QueryRequest",
+    "gather_answers",
+]

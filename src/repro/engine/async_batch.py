@@ -1,0 +1,230 @@
+"""Async micro-batching: many concurrent clients, one engine call per tick.
+
+The serving cost of a range-query batch is dominated by per-invocation
+overhead — bound validation, plan selection, a possible dense
+reconstruction, kernel launch — that the vectorized engine amortizes
+over the whole batch.  A client that sends one query at a time forfeits
+all of that.  :class:`AsyncBatchEngine` wins it back *across* clients:
+concurrent ``await engine.answer(request)`` calls are accumulated into
+a **tick**, the tick is answered with exactly one
+:meth:`~repro.engine.Engine.answer` invocation on the concatenated
+batch, and the answer vector is demultiplexed back to each client's
+future, which also receives the tick-level execution evidence (plan,
+shard plans, tick wall-clock).
+
+A tick flushes when either threshold of the
+:class:`~repro.engine.EngineConfig` is hit:
+
+* **size** — ``max_batch_size`` requests are pending, or
+* **latency** — ``max_batch_latency`` seconds have passed since the
+  tick's first request arrived (so a lone client is never stranded).
+
+**Determinism.**  Batching changes *scheduling*, never *answers*: every
+kernel computes each query's sum in an order fixed by that query alone
+(broadcast reduces the full partition axis per query; the pruned gather
+bincounts each query's own candidate run; dense prefix sums touch
+``2^d`` corners; shard merge is a fixed-order sum), so a query's answer
+is bit-identical whether it travels alone or inside any tick — provided
+the same plan runs.  Plan *choice* is the one batch-shaped input, so a
+serving deployment that requires bit-exactness across batching pins
+``config.plan``; the async test suite enforces equality at 0.0, not
+1e-9.
+
+Cancellation is safe: a client that abandons its pending request (task
+cancelled, timeout) is dropped at flush time — its queries are simply
+excluded from the tick and every other client's answers are unaffected.
+
+The engine is single-loop: all bookkeeping runs on the event loop, the
+numpy kernel runs inline in the flush (it releases the GIL for the
+heavy parts but blocks the loop for the call — acceptable for the
+amortization this engine exists to provide; put the whole engine in a
+worker if the loop must stay responsive during kernels).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import QueryError
+from ..core.packed import validate_box_arrays
+from .api import QueryAnswer, QueryRequest
+from .engine import Engine
+
+
+class _Pending:
+    """One client's enqueued request and the future that resolves it."""
+
+    __slots__ = ("request", "future", "n_queries")
+
+    def __init__(
+        self,
+        request: QueryRequest,
+        future: "asyncio.Future[QueryAnswer]",
+    ):
+        self.request = request
+        self.future = future
+        self.n_queries = request.n_queries
+
+
+class AsyncBatchEngine:
+    """Accumulate concurrent requests into ticks; answer each tick once.
+
+    Wraps a synchronous :class:`~repro.engine.Engine`; flush thresholds
+    come from the engine's config unless overridden here.  Use from a
+    single event loop::
+
+        engine = Engine(private, EngineConfig(plan="broadcast"))
+        batcher = AsyncBatchEngine(engine, max_batch_size=64)
+        answer = await batcher.answer(QueryRequest(lows, highs))
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        max_batch_size: int | None = None,
+        max_batch_latency: float | None = None,
+    ):
+        config = engine.config
+        self._engine = engine
+        self.max_batch_size = (
+            config.max_batch_size if max_batch_size is None
+            else int(max_batch_size)
+        )
+        self.max_batch_latency = (
+            config.max_batch_latency if max_batch_latency is None
+            else float(max_batch_latency)
+        )
+        if self.max_batch_size < 1:
+            raise QueryError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_batch_latency < 0:
+            raise QueryError(
+                f"max_batch_latency must be >= 0, got "
+                f"{self.max_batch_latency}"
+            )
+        self._pending: List[_Pending] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._ticks = 0
+        self._answered_queries = 0
+        self._answered_requests = 0
+        self._dropped_requests = 0
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Cumulative serving counters (ticks, requests, queries)."""
+        return {
+            "ticks": self._ticks,
+            "answered_requests": self._answered_requests,
+            "answered_queries": self._answered_queries,
+            "dropped_requests": self._dropped_requests,
+            "mean_tick_queries": (
+                self._answered_queries / self._ticks if self._ticks else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    async def answer(self, request: QueryRequest) -> QueryAnswer:
+        """Enqueue one client's batch; resolves when its tick is answered.
+
+        Bounds are validated *before* enqueueing, so a malformed request
+        raises in its own caller instead of poisoning the whole tick.
+        A zero-query request is answered inline (there is nothing to
+        amortize, and its possibly ``(0, 0)``-shaped arrays must not
+        enter a tick's concatenation), matching the synchronous engine.
+        """
+        if request.n_queries == 0:
+            return self._engine.answer(request)
+        validate_box_arrays(
+            request.lows, request.highs, self._engine.private.shape
+        )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[QueryAnswer]" = loop.create_future()
+        self._pending.append(_Pending(request, future))
+        if len(self._pending) >= self.max_batch_size:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.max_batch_latency, self._flush
+            )
+        return await future
+
+    async def answer_arrays(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`answer` for bare arrays; returns just the answers."""
+        result = await self.answer(QueryRequest(lows, highs))
+        return result.answers
+
+    async def drain(self) -> None:
+        """Flush any pending tick immediately (shutdown hook)."""
+        self._flush()
+        # Let the just-resolved futures' awaiters run before returning.
+        await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Answer every live pending request with one engine invocation."""
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch = self._pending
+        self._pending = []
+        live = [p for p in batch if not p.future.done()]
+        self._dropped_requests += len(batch) - len(live)
+        if not live:
+            return
+        lows = np.concatenate([p.request.lows for p in live], axis=0)
+        highs = np.concatenate([p.request.highs for p in live], axis=0)
+        try:
+            tick = self._engine.answer(QueryRequest(lows, highs))
+        except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            for p in live:
+                if not p.future.done():
+                    p.future.set_exception(exc)
+            return
+        self._ticks += 1
+        offset = 0
+        for p in live:
+            chunk = tick.answers[offset:offset + p.n_queries]
+            offset += p.n_queries
+            if p.future.done():  # cancelled between collection and now
+                self._dropped_requests += 1
+                continue
+            self._answered_requests += 1
+            self._answered_queries += p.n_queries
+            p.future.set_result(
+                QueryAnswer(
+                    answers=chunk,
+                    plan=tick.plan,
+                    workload=p.request.workload,
+                    shard_bounds=tick.shard_bounds,
+                    shard_plans=tick.shard_plans,
+                    elapsed_seconds=tick.elapsed_seconds,
+                )
+            )
+
+
+async def gather_answers(
+    batcher: AsyncBatchEngine, requests: List[QueryRequest]
+) -> Tuple[QueryAnswer, ...]:
+    """Submit many client requests concurrently; answers in request order.
+
+    The canonical N-clients-one-tick pattern, used by the CLI ``serve``
+    smoke demo and the micro-benchmark.
+    """
+    return tuple(
+        await asyncio.gather(*(batcher.answer(r) for r in requests))
+    )

@@ -1,0 +1,243 @@
+"""`EngineConfig`: the one tuning knob of the query-serving engine.
+
+Before the engine existed, tuning the query path meant a different
+mechanism per knob: ``plan=`` / ``n_shards=`` / ``shard_executor=``
+kwargs threaded through every ``answer_arrays`` call site, and the
+dense-switch / pruning thresholds frozen as module constants in
+:mod:`repro.core.private_matrix` and :mod:`repro.core.interval_index`.
+:class:`EngineConfig` consolidates all of them into one validated,
+immutable object that travels with an :class:`~repro.engine.Engine`:
+
+* **routing** — ``plan`` pins a strategy (``dense`` / ``broadcast`` /
+  ``pruned`` / ``sharded``); ``n_shards`` / ``shard_executor`` select
+  and parameterize the sharded layout;
+* **cost model** — ``dense_switch_factor`` / ``dense_switch_max_cells``
+  govern the prefix-sum switch, and the ``prune_*`` fields feed the
+  pruned-vs-broadcast pair-cost rule
+  (:class:`~repro.core.interval_index.PlanCost`) on every path,
+  including per-shard planning;
+* **async serving** — ``max_batch_size`` / ``max_batch_latency`` are
+  the :class:`~repro.engine.AsyncBatchEngine` tick-flush knobs.
+
+Defaults come from the historical module constants, so a bare
+``EngineConfig()`` behaves exactly like the pre-engine code.  Overrides
+can come from keyword arguments, from ``key=value`` strings
+(:meth:`EngineConfig.from_string`, the CLI ``--engine-config`` format),
+or from ``REPRO_ENGINE_<FIELD>`` environment variables
+(:meth:`EngineConfig.from_env`), checked in that order of precedence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping
+
+from ..core.exceptions import QueryError, ValidationError
+from ..core.interval_index import (
+    PACKED_PLANS,
+    PLAN_DENSE,
+    PLAN_SHARDED,
+    PRUNE_MIN_PARTITIONS,
+    PRUNE_OVERHEAD_PAIRS,
+    PRUNE_SAFETY_FACTOR,
+    PlanCost,
+)
+from ..core.private_matrix import DENSE_SWITCH_FACTOR, DENSE_SWITCH_MAX_CELLS
+
+#: Plan names accepted by :attr:`EngineConfig.plan` (``None`` = let the
+#: cost model choose).
+ENGINE_PLANS = (PLAN_DENSE,) + PACKED_PLANS
+
+#: Environment-variable prefix for :meth:`EngineConfig.from_env`.
+ENV_PREFIX = "REPRO_ENGINE_"
+
+#: Fields settable from strings (CLI ``--engine-config`` / env vars),
+#: with their coercions.  ``shard_executor`` is deliberately absent: an
+#: executor is a live object, not a serializable setting.
+#: Fields in :data:`_OPTIONAL_FIELDS` additionally accept ``none``.
+_OPTIONAL_FIELDS = frozenset({"plan", "n_shards"})
+_STRING_FIELDS: Dict[str, type] = {
+    "plan": str,
+    "n_shards": int,
+    "dense_switch_factor": float,
+    "dense_switch_max_cells": int,
+    "prune_min_partitions": int,
+    "prune_overhead_pairs": float,
+    "prune_safety_factor": float,
+    "max_batch_size": int,
+    "max_batch_latency": float,
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated tuning knobs for :class:`~repro.engine.Engine`.
+
+    Attributes
+    ----------
+    plan:
+        Force one strategy for every batch (``None`` lets the cost
+        model pick per batch).  Pinning a plan is also the
+        determinism lever for serving: with a fixed plan, a query's
+        answer is bit-identical whether it is answered alone or inside
+        any batch (each kernel computes per-query sums in a fixed
+        order; only *plan choice* depends on batch shape).
+    n_shards:
+        Partition-axis shard count; setting it selects the sharded
+        plan, like ``answer_arrays(n_shards=...)`` always did.
+    shard_executor:
+        Ordered-``map`` provider fanning shard partials out (e.g.
+        :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`);
+        setting it alone also selects the sharded plan.  Not picklable
+        in general — leave ``None`` inside process-pool trial workers.
+    dense_switch_factor / dense_switch_max_cells:
+        The dense prefix-sum switch: densify when ``q * k`` exceeds
+        ``dense_switch_factor * n_cells`` and the matrix has at most
+        ``dense_switch_max_cells`` cells.
+    prune_min_partitions / prune_overhead_pairs / prune_safety_factor:
+        The pruned-vs-broadcast pair-cost rule (see
+        :func:`~repro.core.interval_index.candidate_cost_plan`).
+    max_batch_size / max_batch_latency:
+        :class:`~repro.engine.AsyncBatchEngine` flush thresholds: a
+        tick flushes when this many requests are pending, or when the
+        oldest pending request has waited this many seconds.
+    """
+
+    plan: str | None = None
+    n_shards: int | None = None
+    shard_executor: object | None = None
+    dense_switch_factor: float = DENSE_SWITCH_FACTOR
+    dense_switch_max_cells: int = DENSE_SWITCH_MAX_CELLS
+    prune_min_partitions: int = PRUNE_MIN_PARTITIONS
+    prune_overhead_pairs: float = PRUNE_OVERHEAD_PAIRS
+    prune_safety_factor: float = PRUNE_SAFETY_FACTOR
+    max_batch_size: int = 256
+    max_batch_latency: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.plan is not None and self.plan not in ENGINE_PLANS:
+            # QueryError with the planner's historical wording, so code
+            # (and tests) that caught the kwarg-era error keep working.
+            raise QueryError(
+                f"unknown packed query plan {self.plan!r}; expected one of "
+                f"{', '.join(repr(p) for p in ENGINE_PLANS)}"
+            )
+        if self.wants_sharding and self.plan not in (None, PLAN_SHARDED):
+            raise QueryError(
+                f"n_shards/shard_executor only apply to the "
+                f"{PLAN_SHARDED!r} plan, not {self.plan!r}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise QueryError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        for attr in ("dense_switch_factor", "prune_overhead_pairs",
+                     "prune_safety_factor"):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"{attr} must be positive")
+        for attr in ("dense_switch_max_cells", "prune_min_partitions"):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"{attr} must be non-negative")
+        if self.max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_batch_latency < 0:
+            raise ValidationError(
+                f"max_batch_latency must be >= 0, got {self.max_batch_latency}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def wants_sharding(self) -> bool:
+        """True when the config selects the sharded layout implicitly."""
+        return self.n_shards is not None or self.shard_executor is not None
+
+    def plan_cost(self) -> PlanCost:
+        """This config's pruned-vs-broadcast cost rule, for the planner."""
+        return PlanCost(
+            min_partitions=self.prune_min_partitions,
+            overhead_pairs=self.prune_overhead_pairs,
+            safety_factor=self.prune_safety_factor,
+        )
+
+    def with_overrides(self, **kwargs) -> "EngineConfig":
+        """A copy with ``kwargs`` replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # String / environment construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_overrides(text: str) -> Dict[str, object]:
+        """``"plan=broadcast,n_shards=4"`` -> a typed override dict.
+
+        The CLI ``--engine-config`` format: comma-separated ``key=value``
+        pairs over the string-settable fields.  ``none`` (any case)
+        clears an optional field.
+        """
+        overrides: Dict[str, object] = {}
+        for pair in filter(None, (p.strip() for p in text.split(","))):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValidationError(
+                    f"engine-config entry {pair!r} is not key=value"
+                )
+            if key not in _STRING_FIELDS:
+                raise ValidationError(
+                    f"unknown engine-config field {key!r}; settable fields: "
+                    f"{', '.join(sorted(_STRING_FIELDS))}"
+                )
+            value = value.strip()
+            if value.lower() == "none":
+                if key not in _OPTIONAL_FIELDS:
+                    raise ValidationError(
+                        f"engine-config field {key!r} cannot be cleared; "
+                        f"only {', '.join(sorted(_OPTIONAL_FIELDS))} accept "
+                        f"'none'"
+                    )
+                overrides[key] = None
+                continue
+            try:
+                overrides[key] = _STRING_FIELDS[key](value)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"engine-config field {key!r}: bad value {value!r} "
+                    f"({exc})"
+                ) from exc
+        return overrides
+
+    @classmethod
+    def from_string(
+        cls, text: str, base: "EngineConfig | None" = None
+    ) -> "EngineConfig":
+        """Config from a ``key=value,...`` override string."""
+        base = base if base is not None else cls()
+        return base.with_overrides(**cls.parse_overrides(text))
+
+    @classmethod
+    def from_env(
+        cls,
+        base: "EngineConfig | None" = None,
+        environ: Mapping[str, str] | None = None,
+    ) -> "EngineConfig":
+        """Config with ``REPRO_ENGINE_<FIELD>`` overrides applied.
+
+        E.g. ``REPRO_ENGINE_PLAN=sharded REPRO_ENGINE_N_SHARDS=4``.
+        Unset variables keep ``base``'s values; empty strings are
+        treated as unset.
+        """
+        base = base if base is not None else cls()
+        environ = os.environ if environ is None else environ
+        pairs = []
+        for field in fields(cls):
+            if field.name not in _STRING_FIELDS:
+                continue
+            raw = environ.get(ENV_PREFIX + field.name.upper())
+            if raw:
+                pairs.append(f"{field.name}={raw}")
+        if not pairs:
+            return base
+        return cls.from_string(",".join(pairs), base=base)

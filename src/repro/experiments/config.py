@@ -12,9 +12,12 @@ preserved (the benchmarks assert the orderings, not absolute numbers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..core.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,12 @@ class ExperimentScale:
         within 1e-9; rows record ``plan="sharded"``.  Mostly a scale-out
         and CI-forcing knob — on one node sharding pays off only when
         shard skipping bites.
+    engine_config:
+        Full :class:`~repro.engine.EngineConfig` for every trial's
+        query phase (the CLI ``--engine-config`` flag lands here).
+        Mutually exclusive with ``n_shards``, which is sugar for the
+        sharded special case; the config must pickle for ``n_jobs > 1``
+        (so keep its ``shard_executor`` ``None``).
     """
 
     name: str
@@ -60,6 +69,7 @@ class ExperimentScale:
     n_trials: int = 1
     n_jobs: int = 1
     n_shards: int | None = None
+    engine_config: "EngineConfig | None" = None
 
     def __post_init__(self) -> None:
         for attr in ("n_points", "n_trajectories", "city_resolution",
@@ -73,6 +83,11 @@ class ExperimentScale:
         if self.n_shards is not None and self.n_shards < 1:
             raise ValidationError(
                 f"n_shards must be >= 1 or None, got {self.n_shards}"
+            )
+        if self.engine_config is not None and self.n_shards is not None:
+            raise ValidationError(
+                "set either engine_config or the legacy n_shards knob, "
+                "not both"
             )
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":

@@ -119,6 +119,7 @@ def figure4(
                 matrix, specs, list(epsilons), [workload],
                 n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
                 n_shards=scale.n_shards,
+                engine_config=scale.engine_config,
                 extra={"d": d, "skew_fraction": frac, "variance": variance},
             )
             result.rows.extend(
@@ -154,6 +155,7 @@ def figure5(
                 matrix, specs, [epsilon], [workload],
                 n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
                 n_shards=scale.n_shards,
+                engine_config=scale.engine_config,
                 extra={"d": d, "zipf_a": a},
             )
             result.rows.extend(
@@ -213,6 +215,7 @@ def figure6(
             matrix, specs, list(epsilons), workloads,
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
             n_shards=scale.n_shards,
+            engine_config=scale.engine_config,
             extra={"city": city_name},
         )
         result.rows.extend(
@@ -269,6 +272,7 @@ def figure8(
             matrix, specs, list(epsilons), workloads,
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
             n_shards=scale.n_shards,
+            engine_config=scale.engine_config,
             extra={"city": city_name, "od_shape": "x".join(map(str, matrix.shape))},
         )
         result.rows.extend(
@@ -306,6 +310,7 @@ def table3(
             matrix, specs, [epsilon], [workload],
             n_trials=scale.n_trials, rng=run_rng, n_jobs=scale.n_jobs,
             n_shards=scale.n_shards,
+            engine_config=scale.engine_config,
             extra={"city": city_name},
         )
         result.rows.extend(

@@ -45,6 +45,7 @@ from ..queries.workload import Workload
 from .config import MethodSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..engine import EngineConfig
     from .runner import ResultRow
 
 
@@ -72,6 +73,7 @@ def _run_trial(
     extra: Dict[str, object] | None = None,
     evaluator: WorkloadEvaluator | None = None,
     n_shards: int | None = None,
+    engine_config: "EngineConfig | None" = None,
 ) -> List["ResultRow"]:
     """Run one trial: sanitize, answer all workloads, build result rows.
 
@@ -79,9 +81,10 @@ def _run_trial(
     arrives through the arguments, and the random stream is rebuilt from
     ``task.entropy`` and ``task.spawn_key`` alone.  ``evaluator`` is an
     optional ground-truth cache; omitting it only costs recomputation.
-    ``n_shards`` forces the sharded query engine on partition-backed
-    outputs (shards run serially inside the trial — the process pool, if
-    any, is already spent on trial-level parallelism).
+    ``engine_config`` is the :class:`~repro.engine.EngineConfig` the
+    trial's query phase runs under; ``n_shards`` is legacy sugar for a
+    sharded config (shards run serially inside the trial — the process
+    pool, if any, is already spent on trial-level parallelism).
     """
     from .runner import ResultRow
 
@@ -91,7 +94,9 @@ def _run_trial(
     private = sanitizer.sanitize(matrix, task.epsilon, rng)
     sanitize_elapsed = time.perf_counter() - start
     if evaluator is None:
-        evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
+        evaluator = WorkloadEvaluator(
+            matrix, n_shards=n_shards, engine_config=engine_config
+        )
     start = time.perf_counter()
     results = evaluator.evaluate_all(private, list(workloads))
     query_elapsed = time.perf_counter() - start
@@ -140,8 +145,15 @@ class Executor(abc.ABC):
         tasks: Sequence[TrialTask],
         extra: Dict[str, object] | None = None,
         n_shards: int | None = None,
+        engine_config: "EngineConfig | None" = None,
     ) -> List[List["ResultRow"]]:
-        """One row list per task, in task order."""
+        """One row list per task, in task order.
+
+        ``engine_config`` (a picklable
+        :class:`~repro.engine.EngineConfig`; its ``shard_executor``
+        must be ``None`` for pooled backends) configures every trial's
+        query phase; ``n_shards`` is the legacy sharded shorthand.
+        """
 
     def map(self, fn, items: Sequence) -> List:
         """Ordered map over independent items (serial by default)."""
@@ -151,8 +163,11 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """In-process execution; ground truth is computed once and shared."""
 
-    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None):
-        evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
+    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None,
+                   engine_config=None):
+        evaluator = WorkloadEvaluator(
+            matrix, n_shards=n_shards, engine_config=engine_config
+        )
         return [
             _run_trial(matrix, workloads, task, extra, evaluator=evaluator)
             for task in tasks
@@ -171,8 +186,11 @@ def _init_worker(
     workloads: Sequence[Workload],
     extra: Dict[str, object] | None,
     n_shards: int | None = None,
+    engine_config: "EngineConfig | None" = None,
 ) -> None:
-    evaluator = WorkloadEvaluator(matrix, n_shards=n_shards)
+    evaluator = WorkloadEvaluator(
+        matrix, n_shards=n_shards, engine_config=engine_config
+    )
     for workload in workloads:
         evaluator.true_answers(workload)  # warm the cache before any trial
     _WORKER_STATE["matrix"] = matrix
@@ -213,21 +231,23 @@ class ProcessPoolTrialExecutor(Executor):
                 return None
         return None
 
-    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None):
+    def run_trials(self, matrix, workloads, tasks, extra=None, n_shards=None,
+                   engine_config=None):
         tasks = list(tasks)
         if not tasks:
             return []
         workers = min(self.n_jobs, len(tasks))
         if workers <= 1:
             return SerialExecutor().run_trials(
-                matrix, workloads, tasks, extra, n_shards
+                matrix, workloads, tasks, extra, n_shards, engine_config
             )
         ctx = self._fork_context()
         if ctx is not None:
             # Fork path: stage the state in the parent so workers inherit
             # the matrix, workloads, and warmed ground-truth cache
             # copy-on-write — nothing heavyweight crosses a pipe.
-            _init_worker(matrix, list(workloads), extra, n_shards)
+            _init_worker(matrix, list(workloads), extra, n_shards,
+                         engine_config)
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers, mp_context=ctx
@@ -238,7 +258,8 @@ class ProcessPoolTrialExecutor(Executor):
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(matrix, list(workloads), extra, n_shards),
+            initargs=(matrix, list(workloads), extra, n_shards,
+                      engine_config),
         ) as pool:
             return list(pool.map(_run_trial_in_worker, tasks))
 

@@ -20,16 +20,20 @@ runs of the same seed produce bit-identical rows in identical order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from ..core.exceptions import ValidationError
 from ..core.frequency_matrix import FrequencyMatrix
 from ..dp.rng import RNGLike, derive_entropy, ensure_rng
 from ..queries.metrics import AccuracyReport
 from ..queries.workload import Workload
 from .config import MethodSpec
 from .parallel import Executor, TrialTask, get_executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import EngineConfig
 
 
 @dataclass(frozen=True)
@@ -52,9 +56,10 @@ class ResultRow:
     #: (:func:`aggregate_rows`) averages over distinct trials.
     query_seconds: float = 0.0
     #: Query plan the engine chose for the trial's batched query phase
-    #: (``dense`` / ``broadcast`` / ``pruned``), so ``query_seconds`` is
-    #: attributable to a strategy.  Deterministic for a given matrix and
-    #: workload set, hence identical between serial and parallel runs.
+    #: (``dense`` / ``broadcast`` / ``pruned`` / ``sharded``), so
+    #: ``query_seconds`` is attributable to a strategy.  Deterministic
+    #: for a given matrix and workload set, hence identical between
+    #: serial and parallel runs.
     plan: str = ""
 
     @property
@@ -117,6 +122,7 @@ def run_methods(
     n_jobs: int = 1,
     executor: Executor | None = None,
     n_shards: int | None = None,
+    engine_config: "EngineConfig | None" = None,
 ) -> List[ResultRow]:
     """Evaluate every (method, epsilon) pair on every workload.
 
@@ -129,25 +135,39 @@ def run_methods(
 
     ``n_jobs`` selects the execution backend (1 = serial in-process,
     ``k > 1`` = a pool of ``k`` worker processes, -1 = all cores); an
-    explicit ``executor`` overrides it.  ``n_shards`` forces each
-    trial's query phase through the sharded engine with that many
-    partition-axis shards (dense-backed methods keep their dense route);
-    shards run serially inside each trial, so it composes with
-    ``n_jobs`` without nesting pools.  For the same ``rng`` seed every
-    backend returns bit-identical rows in identical order — only the
-    timing fields vary.  Sharded answers match the single-node engine
-    within float reassociation (1e-9, pinned by the plan-equivalence
-    suite), and the rows' ``plan`` column records ``"sharded"``.
+    explicit ``executor`` overrides it.  ``engine_config`` is the
+    :class:`~repro.engine.EngineConfig` every trial's query phase runs
+    under (it must pickle for pooled backends, so its
+    ``shard_executor`` must stay ``None`` there); ``n_shards`` is the
+    legacy sugar for a sharded config — it forces each trial's query
+    phase through the sharded engine with that many partition-axis
+    shards (dense-backed methods keep their dense route); shards run
+    serially inside each trial, so either knob composes with ``n_jobs``
+    without nesting pools.  Passing both is ambiguous and rejected.
+    For the same ``rng`` seed every backend returns bit-identical rows
+    in identical order — only the timing fields vary.  Sharded answers
+    match the single-node engine within float reassociation (1e-9,
+    pinned by the plan-equivalence suite), and the rows' ``plan``
+    column records ``"sharded"``.
     """
+    if engine_config is not None and n_shards is not None:
+        raise ValidationError(
+            "pass either engine_config or the legacy n_shards knob, not both"
+        )
     entropy = derive_entropy(ensure_rng(rng))
     tasks = build_trial_tasks(method_specs, epsilons, n_trials, entropy)
     if executor is None:
         executor = get_executor(n_jobs)
-    if n_shards is None:
+    if n_shards is None and engine_config is None:
         # The pre-sharding call shape, so Executor implementations
         # written against it keep working when sharding is off.
         row_lists = executor.run_trials(
             matrix, list(workloads), tasks, dict(extra or {})
+        )
+    elif engine_config is not None:
+        row_lists = executor.run_trials(
+            matrix, list(workloads), tasks, dict(extra or {}),
+            engine_config=engine_config,
         )
     else:
         row_lists = executor.run_trials(
@@ -201,9 +221,14 @@ def aggregate_rows(
         entry["query_seconds"] = float(
             np.mean([t[1] for t in trial_times.values()])
         )
-        entry["plan"] = "+".join(
-            sorted({m.plan for m in members if m.plan})
-        )
+        # Every row carries a concrete plan now — the engine stamps one
+        # on each batch (sharded batches additionally expose per-shard
+        # plans on the evaluation result), so mixed groups are a plain
+        # sorted dedup join.  A blank plan can only come from rows built
+        # outside the engine (hand-constructed, pre-engine archives);
+        # surface those honestly as "unknown" rather than dropping them
+        # or emitting a leading separator.
+        entry["plan"] = "+".join(sorted({m.plan or "unknown" for m in members}))
         entry["n_partitions"] = float(
             np.mean([m.n_partitions for m in members])
         )

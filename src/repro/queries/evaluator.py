@@ -1,23 +1,25 @@
 """Evaluating private matrices against ground truth over workloads.
 
 Ground-truth answers come from a :class:`~repro.core.PrefixSumTable` built
-once per matrix; private answers use the matrix's own engine.  The result
-rows feed the experiment harness and the figure benchmarks directly.
+once per matrix; private answers go through the
+:mod:`repro.engine` serving facade.  The result rows feed the
+experiment harness and the figure benchmarks directly.
 
 Everything here is batch-first: workloads expose their queries as packed
 ``(lows, highs)`` arrays (:meth:`~repro.queries.workload.Workload.as_arrays`),
 ground truth per workload is computed in one
 :meth:`~repro.core.PrefixSumTable.query_arrays` call and cached, and
 :meth:`WorkloadEvaluator.evaluate_all` answers *all* workloads for a
-private matrix with a single concatenated
-:meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays` pass — the engine
-(geometric kernel or dense prefix sums) is chosen once for the whole batch.
+private matrix with a single :meth:`~repro.engine.Engine.answer`
+invocation — the engine (geometric kernel, pruned gather, dense prefix
+sums, or the sharded layout) is chosen once for the whole batch, under
+one :class:`~repro.engine.EngineConfig`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +27,7 @@ from ..core.exceptions import QueryError
 from ..core.frequency_matrix import FrequencyMatrix
 from ..core.prefix_sum import PrefixSumTable
 from ..core.private_matrix import PrivateFrequencyMatrix
+from ..engine import Engine, EngineConfig, QueryRequest
 from .metrics import DEFAULT_FLOOR, AccuracyReport, accuracy_report
 from .workload import Workload
 
@@ -38,9 +41,14 @@ class EvaluationResult:
     epsilon: float
     report: AccuracyReport
     #: Query plan the engine chose for the batch this workload was
-    #: answered in (``dense`` / ``broadcast`` / ``pruned``; see
-    #: :meth:`~repro.core.PrivateFrequencyMatrix.plan_queries`).
+    #: answered in (``dense`` / ``broadcast`` / ``pruned`` /
+    #: ``sharded``; always stamped — see
+    #: :attr:`~repro.engine.QueryAnswer.plan`).
     plan: str = ""
+    #: Per-shard execution evidence when the batch ran sharded
+    #: (:attr:`~repro.engine.QueryAnswer.shard_plans`): what each shard
+    #: did, including provable skips.  Empty for single-node plans.
+    shard_plans: Tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def mre(self) -> float:
@@ -60,18 +68,17 @@ class EvaluationResult:
 class WorkloadEvaluator:
     """Caches ground-truth answers for a matrix across many evaluations.
 
-    ``n_shards`` forces partition-backed private matrices through the
-    sharded engine (``plan="sharded"``) with that many partition-axis
-    shards; dense-backed outputs (identity, Privlet) have no partition
-    list to shard and keep their normal dense route.  ``shard_executor``
-    optionally fans the shards across a process pool (an ordered-``map``
-    provider such as
-    :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`) —
-    setting it without ``n_shards`` still selects the sharded plan, at
-    the default shard count, matching
-    :meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays`.  Leave it
-    ``None`` inside trial workers — trial-level parallelism already owns
-    the pool there.
+    ``engine_config`` is the :class:`~repro.engine.EngineConfig` every
+    private matrix is answered under (``None`` = default config, cost
+    model picks the plan per batch).  The legacy ``n_shards`` /
+    ``shard_executor`` keywords survive as sugar for a sharded config —
+    they force partition-backed private matrices through the sharded
+    engine, while dense-backed outputs (identity, Privlet) have no
+    partition list to shard and keep their dense route (the engine
+    handles that fallback itself now).  Passing ``engine_config``
+    together with the legacy keywords is ambiguous and rejected.  Leave
+    executors ``None`` inside trial workers — trial-level parallelism
+    already owns the pool there.
     """
 
     def __init__(
@@ -81,17 +88,32 @@ class WorkloadEvaluator:
         *,
         n_shards: int | None = None,
         shard_executor: object | None = None,
+        engine_config: EngineConfig | None = None,
     ):
+        if engine_config is not None and (
+            n_shards is not None or shard_executor is not None
+        ):
+            raise QueryError(
+                "pass either engine_config or the legacy "
+                "n_shards/shard_executor keywords, not both"
+            )
+        if engine_config is None:
+            engine_config = EngineConfig(
+                n_shards=n_shards, shard_executor=shard_executor
+            )
         self._matrix = matrix
         self._floor = floor
         self._table = PrefixSumTable(matrix.data)
         self._truth_cache: Dict[str, np.ndarray] = {}
-        self._n_shards = n_shards
-        self._shard_executor = shard_executor
+        self._engine_config = engine_config
 
     @property
     def matrix(self) -> FrequencyMatrix:
         return self._matrix
+
+    @property
+    def engine_config(self) -> EngineConfig:
+        return self._engine_config
 
     @staticmethod
     def _cache_key(workload: Workload) -> str:
@@ -127,11 +149,12 @@ class WorkloadEvaluator:
         """Accuracy of ``private`` on every workload, in one batched pass.
 
         All workloads' boxes are concatenated into a single
-        :meth:`~repro.core.PrivateFrequencyMatrix.answer_arrays` call so
-        the plan choice (broadcast kernel, index-pruned gather, or dense
-        prefix sums) and any dense reconstruction are amortized across
-        the whole cross product, then the answer vector is split back per
-        workload.  The chosen plan is recorded on every result.
+        :meth:`~repro.engine.Engine.answer` call so the plan choice
+        (broadcast kernel, index-pruned gather, dense prefix sums, or
+        the configured sharded layout) and any dense reconstruction are
+        amortized across the whole cross product, then the answer
+        vector is split back per workload.  The chosen plan — and the
+        per-shard evidence, when sharded — is recorded on every result.
         """
         workloads = list(workloads)
         if not workloads:
@@ -140,25 +163,16 @@ class WorkloadEvaluator:
         arrays = [w.as_arrays() for w in workloads]
         lows = np.concatenate([a[0] for a in arrays], axis=0)
         highs = np.concatenate([a[1] for a in arrays], axis=0)
-        sharding_requested = (
-            self._n_shards is not None or self._shard_executor is not None
+        engine = Engine(private, self._engine_config)
+        answer = engine.answer(
+            QueryRequest(
+                lows, highs, workload="+".join(w.name for w in workloads)
+            )
         )
-        if sharding_requested and not private.is_dense_backed:
-            estimates, plan = private.answer_arrays(
-                lows,
-                highs,
-                n_shards=self._n_shards,
-                shard_executor=self._shard_executor,
-                return_plan=True,
-            )
-        else:
-            estimates, plan = private.answer_arrays(
-                lows, highs, return_plan=True
-            )
         results: List[EvaluationResult] = []
         offset = 0
         for workload, truth in zip(workloads, truths):
-            chunk = estimates[offset : offset + len(workload)]
+            chunk = answer.answers[offset : offset + len(workload)]
             offset += len(workload)
             results.append(
                 EvaluationResult(
@@ -166,7 +180,8 @@ class WorkloadEvaluator:
                     workload=workload.name,
                     epsilon=private.epsilon,
                     report=accuracy_report(truth, chunk, self._floor),
-                    plan=plan,
+                    plan=answer.plan,
+                    shard_plans=answer.shard_plans,
                 )
             )
         return results

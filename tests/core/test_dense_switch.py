@@ -1,6 +1,6 @@
 """Property test for the ``DENSE_SWITCH_FACTOR`` engine boundary.
 
-:meth:`PrivateFrequencyMatrix.answer_arrays` routes a batch either to the
+The default-config :class:`repro.engine.Engine` routes a batch either to the
 tiled geometric kernel or to a dense prefix-sum reconstruction once
 ``n_queries * n_partitions`` exceeds ``DENSE_SWITCH_FACTOR * n_cells``.
 The engines must be interchangeable: whichever side of the boundary a
@@ -17,6 +17,7 @@ import pytest
 
 from repro.core import PrivateFrequencyMatrix, packed_from_intervals
 from repro.core.private_matrix import DENSE_SWITCH_FACTOR
+from repro.engine import Engine
 from repro.methods._grid import axis_intervals
 from repro.queries import random_workload
 
@@ -49,7 +50,7 @@ def test_engines_agree_across_the_switch(m, delta):
 
     kernel = private.packed.answer_many_arrays(lows, highs)
     dense = private._prefix_table().query_arrays(lows, highs)
-    auto = private.answer_arrays(lows, highs)
+    auto = Engine(private).answer_arrays(lows, highs)
 
     np.testing.assert_allclose(dense, kernel, rtol=0, atol=1e-9)
     # The auto route picked one of the two, so it inherits the agreement.
@@ -74,6 +75,6 @@ def test_switch_agrees_with_scalar_reference(delta):
     n_queries = boundary_queries(private.n_partitions, delta)
     workload = random_workload(SHAPE, n_queries, rng=delta + 50)
     lows, highs = workload.as_arrays()
-    auto = private.answer_arrays(lows, highs)
+    auto = Engine(private).answer_arrays(lows, highs)
     scalar = np.array([private.answer(q) for q in workload])
     np.testing.assert_allclose(auto, scalar, rtol=0, atol=1e-9)

@@ -28,6 +28,7 @@ from repro.core.interval_index import (
     PRUNE_MIN_PARTITIONS,
     choose_packed_plan,
 )
+from repro.engine import Engine, EngineConfig, QueryRequest
 from repro.methods import get_sanitizer
 from repro.methods._grid import axis_intervals
 
@@ -175,11 +176,11 @@ class TestPlanner:
         lows, highs = small_queries((256, 256), 50, np.random.default_rng(4))
         outs = {}
         for plan in (PLAN_DENSE, PLAN_BROADCAST, PLAN_PRUNED):
-            answers, used = priv.answer_arrays(
-                lows, highs, plan=plan, return_plan=True
+            result = Engine(priv, EngineConfig(plan=plan)).answer(
+                QueryRequest(lows, highs)
             )
-            assert used == plan
-            outs[plan] = answers
+            assert result.plan == plan
+            outs[plan] = result.answers
         np.testing.assert_allclose(
             outs[PLAN_PRUNED], outs[PLAN_BROADCAST], rtol=0, atol=1e-9
         )
@@ -188,14 +189,15 @@ class TestPlanner:
         )
 
     def test_unknown_plan_rejected(self):
-        packed = bench_like_packed()
-        priv = PrivateFrequencyMatrix.from_packed(packed)
-        one = np.zeros((1, 2), dtype=np.int64)
+        # The name check happens at config construction, before any
+        # matrix is involved.
         with pytest.raises(QueryError, match="unknown packed query plan"):
-            priv.answer_arrays(one, one, plan="sideways")
+            EngineConfig(plan="sideways")
 
     def test_partition_plans_rejected_on_dense_backed(self):
         dense = PrivateFrequencyMatrix.from_dense_noisy(np.ones((8, 8)))
         one = np.zeros((1, 2), dtype=np.int64)
         with pytest.raises(QueryError, match="dense-backed"):
-            dense.answer_arrays(one, one, plan=PLAN_PRUNED)
+            Engine(dense, EngineConfig(plan=PLAN_PRUNED)).answer(
+                QueryRequest(one, one)
+            )

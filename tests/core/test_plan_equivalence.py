@@ -9,6 +9,11 @@ sanitizers emit (uniform grid, AG, quadtree, kd-tree, DAF), shard counts
 inputs that historically break query engines: empty batches, full-domain
 queries, single cells, and shard counts exceeding the partition count.
 
+All routing goes through the :mod:`repro.engine` facade (an
+:class:`~repro.engine.Engine` per forced
+:class:`~repro.engine.EngineConfig`) — the deprecated kwarg shims have
+their own regression suite in ``tests/engine/test_deprecation.py``.
+
 The suite also carries the skip-counter acceptance criterion (a shard
 whose candidate bound is empty must provably skip the gather, observable
 via :attr:`~repro.core.sharding.ShardedAnswer.skipped_shards`) and the
@@ -41,6 +46,7 @@ from repro.core import (
     split_shards,
 )
 from repro.core.interval_index import PRUNE_MIN_PARTITIONS
+from repro.engine import Engine, EngineConfig, QueryRequest
 from repro.experiments.parallel import ProcessPoolTrialExecutor
 from repro.methods import get_sanitizer
 from repro.methods._grid import axis_intervals
@@ -61,6 +67,19 @@ _env = os.environ.get("REPRO_TEST_N_SHARDS")
 ENV_N_SHARDS = int(_env) if _env else None
 if ENV_N_SHARDS is not None and ENV_N_SHARDS not in SHARD_COUNTS:
     SHARD_COUNTS.append(ENV_N_SHARDS)
+
+
+def engine_answers(private, lows, highs, **config):
+    """Answers through an :class:`Engine` forced to ``config``."""
+    return Engine(private, EngineConfig(**config)).answer_arrays(lows, highs)
+
+
+def sharded_evidence(private, lows, highs, *, n_shards=None, executor=None):
+    """A :class:`~repro.core.sharding.ShardedAnswer` via the facade."""
+    return Engine(
+        private,
+        EngineConfig(n_shards=n_shards, shard_executor=executor),
+    ).answer_sharded(lows, highs)
 
 
 def sanitized_private(method, shape, data_seed, noise_seed, epsilon):
@@ -118,16 +137,16 @@ class TestEquivalenceMatrix:
         rng = np.random.default_rng(data_seed ^ noise_seed)
         boxes = degenerate_and_random_queries(shape, rng)
         lows, highs = boxes_to_arrays(boxes)
-        broadcast = private.answer_arrays(lows, highs, plan=PLAN_BROADCAST)
+        broadcast = engine_answers(private, lows, highs, plan=PLAN_BROADCAST)
         # Forced pruned may fall back to broadcast below the pruning
         # threshold — either way the values must match.
-        pruned = private.answer_arrays(lows, highs, plan=PLAN_PRUNED)
-        dense = private.answer_arrays(lows, highs, plan=PLAN_DENSE)
+        pruned = engine_answers(private, lows, highs, plan=PLAN_PRUNED)
+        dense = engine_answers(private, lows, highs, plan=PLAN_DENSE)
         np.testing.assert_allclose(pruned, broadcast, rtol=0, atol=1e-9)
         np.testing.assert_allclose(dense, broadcast, rtol=1e-9, atol=1e-6)
         for n_shards in SHARD_COUNTS:
-            sharded = private.answer_arrays(
-                lows, highs, plan=PLAN_SHARDED, n_shards=n_shards
+            sharded = engine_answers(
+                private, lows, highs, plan=PLAN_SHARDED, n_shards=n_shards
             )
             np.testing.assert_allclose(
                 sharded, broadcast, rtol=0, atol=1e-9,
@@ -143,13 +162,14 @@ class TestEquivalenceMatrix:
                 (20, 24), np.random.default_rng(1), n_random=10
             )
         )
-        answers, plan = private.answer_arrays(
-            lows, highs, n_shards=n_shards, return_plan=True
+        result = Engine(private, EngineConfig(n_shards=n_shards)).answer(
+            QueryRequest(lows, highs)
         )
-        assert plan == PLAN_SHARDED
+        assert result.plan == PLAN_SHARDED
+        assert result.n_shards == min(n_shards, private.n_partitions)
         np.testing.assert_allclose(
-            answers,
-            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            result.answers,
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
             rtol=0,
             atol=1e-9,
         )
@@ -159,13 +179,14 @@ class TestShardEdgeCases:
     def test_empty_batch(self):
         private = grid_private(shape=(16, 16), m=4)  # 16 partitions
         empty = np.empty((0, 2), dtype=np.int64)
-        result = private.answer_sharded(empty, empty, n_shards=3)
+        result = sharded_evidence(private, empty, empty, n_shards=3)
         assert result.answers.size == 0
         assert result.skipped_shards == result.n_shards == 3
-        answers, plan = private.answer_arrays(
-            empty, empty, n_shards=3, return_plan=True
+        answer = Engine(private, EngineConfig(n_shards=3)).answer(
+            QueryRequest(empty, empty)
         )
-        assert answers.size == 0 and plan == PLAN_SHARDED
+        assert answer.answers.size == 0 and answer.plan == PLAN_SHARDED
+        assert answer.skipped_shards == 3  # evidence survives the facade
 
     def test_shard_count_exceeding_partition_count(self):
         private = sanitized_private("kdtree", (16, 16), 2, 3, 0.5)
@@ -175,11 +196,11 @@ class TestShardEdgeCases:
                 (16, 16), np.random.default_rng(4), n_random=10
             )
         )
-        result = private.answer_sharded(lows, highs, n_shards=10 * k)
+        result = sharded_evidence(private, lows, highs, n_shards=10 * k)
         assert result.n_shards == k  # clipped: one partition per shard
         np.testing.assert_allclose(
             result.answers,
-            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
             rtol=0,
             atol=1e-9,
         )
@@ -194,26 +215,24 @@ class TestShardEdgeCases:
             assert len(bounds) == min(k, n)
 
     def test_invalid_shard_counts_rejected(self):
-        private = sanitized_private("uniform", (16, 16), 0, 0, 1.0)
-        one = np.zeros((1, 2), dtype=np.int64)
         with pytest.raises(QueryError, match="n_shards"):
-            private.answer_sharded(one, one, n_shards=0)
+            EngineConfig(n_shards=0)
         with pytest.raises(QueryError, match="n_shards"):
             shard_bounds(10, -2)
 
     def test_n_shards_conflicts_with_other_plans(self):
-        private = grid_private()
-        one = np.zeros((1, 2), dtype=np.int64)
         with pytest.raises(QueryError, match="sharded"):
-            private.answer_arrays(one, one, plan=PLAN_PRUNED, n_shards=2)
+            EngineConfig(plan=PLAN_PRUNED, n_shards=2)
 
     def test_sharded_rejected_on_dense_backed(self):
         dense = PrivateFrequencyMatrix.from_dense_noisy(np.ones((8, 8)))
         one = np.zeros((1, 2), dtype=np.int64)
         with pytest.raises(QueryError, match="dense-backed"):
-            dense.answer_arrays(one, one, plan=PLAN_SHARDED)
+            Engine(dense, EngineConfig(plan=PLAN_SHARDED)).answer(
+                QueryRequest(one, one)
+            )
         with pytest.raises(QueryError, match="dense-backed"):
-            dense.answer_sharded(one, one, n_shards=2)
+            Engine(dense, EngineConfig(n_shards=2)).answer_sharded(one, one)
 
 
 class TestShardSkipping:
@@ -231,7 +250,7 @@ class TestShardSkipping:
         ).astype(np.int64)
         highs = lows + rng.integers(0, 3, size=lows.shape)
         highs = np.minimum(highs, [[31, 255]])
-        result = private.answer_sharded(lows, highs, n_shards=8)
+        result = sharded_evidence(private, lows, highs, n_shards=8)
         assert result.skipped_shards > 0
         assert result.plans.count(SHARD_SKIPPED) == result.skipped_shards
         # Every skip is provable: brute-force overlap over the shard's
@@ -248,7 +267,7 @@ class TestShardSkipping:
                 assert overlaps.any()
         np.testing.assert_allclose(
             result.answers,
-            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
             rtol=0,
             atol=1e-9,
         )
@@ -256,8 +275,26 @@ class TestShardSkipping:
     def test_full_domain_queries_skip_nothing(self):
         private = grid_private()
         lows, highs = boxes_to_arrays([full_box((256, 256))])
-        result = private.answer_sharded(lows, highs, n_shards=4)
+        result = sharded_evidence(private, lows, highs, n_shards=4)
         assert result.skipped_shards == 0
+
+    def test_query_answer_carries_shard_evidence(self):
+        """The facade's QueryAnswer exposes the per-shard plans."""
+        private = grid_private()
+        rng = np.random.default_rng(17)
+        lows = np.stack(
+            [rng.integers(0, 16, size=50), rng.integers(0, 256, size=50)],
+            axis=1,
+        ).astype(np.int64)
+        highs = np.minimum(lows + 2, [[255, 255]])
+        answer = Engine(private, EngineConfig(n_shards=8)).answer(
+            QueryRequest(lows, highs)
+        )
+        evidence = sharded_evidence(private, lows, highs, n_shards=8)
+        assert answer.shard_plans == evidence.plans
+        assert answer.shard_bounds == evidence.bounds
+        assert answer.skipped_shards == evidence.skipped_shards > 0
+        assert answer.skip_rate == evidence.skip_rate
 
 
 class TestShardExecutors:
@@ -269,9 +306,10 @@ class TestShardExecutors:
         lows, highs = boxes_to_arrays(
             degenerate_and_random_queries((64, 64), rng, n_random=20)
         )
-        serial = private.answer_sharded(lows, highs, n_shards=3)
-        pooled = private.answer_sharded(
-            lows, highs, n_shards=3, executor=ProcessPoolTrialExecutor(2)
+        serial = sharded_evidence(private, lows, highs, n_shards=3)
+        pooled = sharded_evidence(
+            private, lows, highs, n_shards=3,
+            executor=ProcessPoolTrialExecutor(2),
         )
         np.testing.assert_array_equal(serial.answers, pooled.answers)
         assert serial.plans == pooled.plans
@@ -315,20 +353,20 @@ class TestForcedPrunedFallback:
             == PLAN_BROADCAST
         )
 
-    def test_answer_arrays_reports_the_fallback(self):
+    def test_engine_reports_the_fallback(self):
         private = grid_private(shape=(16, 16), m=4)
         lows, highs = boxes_to_arrays(
             degenerate_and_random_queries(
                 (16, 16), np.random.default_rng(1), n_random=5
             )
         )
-        answers, plan = private.answer_arrays(
-            lows, highs, plan=PLAN_PRUNED, return_plan=True
+        answer = Engine(private, EngineConfig(plan=PLAN_PRUNED)).answer(
+            QueryRequest(lows, highs)
         )
-        assert plan == PLAN_BROADCAST  # fell back, and says so
+        assert answer.plan == PLAN_BROADCAST  # fell back, and says so
         np.testing.assert_allclose(
-            answers,
-            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            answer.answers,
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
             rtol=0,
             atol=1e-9,
         )
@@ -344,16 +382,18 @@ class TestForcedPrunedFallback:
             choose_packed_plan(private.packed, lows, highs, force=PLAN_PRUNED)
             == PLAN_PRUNED
         )
-        _, plan = private.answer_arrays(
-            lows, highs, plan=PLAN_PRUNED, return_plan=True
+        answer = Engine(private, EngineConfig(plan=PLAN_PRUNED)).answer(
+            QueryRequest(lows, highs)
         )
-        assert plan == PLAN_PRUNED
+        assert answer.plan == PLAN_PRUNED
 
     def test_unknown_force_rejected(self):
         private = grid_private(shape=(16, 16), m=4)
         one = np.zeros((1, 2), dtype=np.int64)
         with pytest.raises(QueryError, match="unknown packed query plan"):
             choose_packed_plan(private.packed, one, one, force="sideways")
+        with pytest.raises(QueryError, match="unknown packed query plan"):
+            EngineConfig(plan="sideways")
 
 
 class TestEvaluatorAndRunnerPlumbing:
@@ -369,11 +409,30 @@ class TestEvaluatorAndRunnerPlumbing:
             private, workload
         )
         assert sharded.plan == PLAN_SHARDED
+        assert len(sharded.shard_plans) == min(3, private.n_partitions)
         assert sharded.report.mre == pytest.approx(plain.report.mre, abs=1e-6)
 
+    def test_evaluator_engine_config_matches_legacy_kwargs(self):
+        rng = np.random.default_rng(15)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
+        private = get_sanitizer("quadtree").sanitize(matrix, 0.5, 7)
+        workload = random_workload(matrix.shape, 30, rng=3)
+        legacy = WorkloadEvaluator(matrix, n_shards=3).evaluate(
+            private, workload
+        )
+        explicit = WorkloadEvaluator(
+            matrix, engine_config=EngineConfig(n_shards=3)
+        ).evaluate(private, workload)
+        assert legacy == explicit
+        with pytest.raises(QueryError, match="not both"):
+            WorkloadEvaluator(
+                matrix, n_shards=3, engine_config=EngineConfig()
+            )
+
     def test_evaluator_shard_executor_alone_selects_sharded(self):
-        # Matching answer_arrays: configuring only the executor still
-        # routes through the sharded plan (at the default shard count).
+        # Matching the engine's config semantics: configuring only the
+        # executor still routes through the sharded plan (at the
+        # default shard count).
         rng = np.random.default_rng(13)
         matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
         private = get_sanitizer("kdtree").sanitize(matrix, 0.5, 7)
@@ -401,6 +460,7 @@ class TestEvaluatorAndRunnerPlumbing:
             private, workload
         )
         assert result.plan == PLAN_DENSE
+        assert result.shard_plans == ()
 
     def test_run_methods_n_shards_stamps_rows(self):
         from repro.experiments import default_method_specs, run_methods
@@ -420,6 +480,29 @@ class TestEvaluatorAndRunnerPlumbing:
         assert plans["kdtree"] == PLAN_SHARDED
         assert plans["identity"] == PLAN_DENSE  # dense-backed: no shards
 
+    def test_run_methods_engine_config_equivalent_and_exclusive(self):
+        from repro.experiments import default_method_specs, run_methods
+        from repro.core import ValidationError
+
+        rng = np.random.default_rng(21)
+        matrix = FrequencyMatrix(rng.poisson(3.0, (20, 20)).astype(float))
+        workload = random_workload(matrix.shape, 25, rng=4)
+        specs = default_method_specs(["kdtree"])
+        legacy = run_methods(
+            matrix, specs, [0.5], [workload], rng=1, n_shards=2
+        )
+        explicit = run_methods(
+            matrix, specs, [0.5], [workload], rng=1,
+            engine_config=EngineConfig(n_shards=2),
+        )
+        assert [r.report for r in legacy] == [r.report for r in explicit]
+        assert [r.plan for r in legacy] == [r.plan for r in explicit]
+        with pytest.raises(ValidationError, match="not both"):
+            run_methods(
+                matrix, specs, [0.5], [workload], rng=1,
+                n_shards=2, engine_config=EngineConfig(n_shards=2),
+            )
+
     @pytest.mark.skipif(
         ENV_N_SHARDS is None, reason="REPRO_TEST_N_SHARDS not set"
     )
@@ -429,11 +512,11 @@ class TestEvaluatorAndRunnerPlumbing:
         matrix = FrequencyMatrix(rng.poisson(3.0, (24, 24)).astype(float))
         private = get_sanitizer("quadtree").sanitize(matrix, 0.5, 7)
         lows, highs = random_workload(matrix.shape, 30, rng=5).as_arrays()
-        result = private.answer_sharded(lows, highs, n_shards=ENV_N_SHARDS)
+        result = sharded_evidence(private, lows, highs, n_shards=ENV_N_SHARDS)
         assert result.n_shards == min(ENV_N_SHARDS, private.n_partitions)
         np.testing.assert_allclose(
             result.answers,
-            private.answer_arrays(lows, highs, plan=PLAN_BROADCAST),
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
             rtol=0,
             atol=1e-9,
         )

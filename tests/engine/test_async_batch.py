@@ -1,0 +1,318 @@
+"""AsyncBatchEngine: concurrency equivalence, flush triggers, cancellation.
+
+The headline guarantee: answers produced through the micro-batching
+endpoint are **bit-identical** to one-by-one `Engine.answer` calls —
+max absolute difference 0.0, not 1e-9 — because each query runs through
+the same kernel invocation arithmetic regardless of the tick it rides
+in (per-query reductions are batch-shape-independent; plan choice is
+pinned by the config, the serving determinism lever).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PLAN_BROADCAST,
+    PLAN_DENSE,
+    PLAN_PRUNED,
+    PLAN_SHARDED,
+    PrivateFrequencyMatrix,
+    QueryError,
+    packed_from_intervals,
+)
+from repro.engine import (
+    AsyncBatchEngine,
+    Engine,
+    EngineConfig,
+    QueryRequest,
+    gather_answers,
+)
+from repro.methods._grid import axis_intervals
+
+SHAPE = (128, 128)
+
+
+def grid_private(m=32):
+    rng = np.random.default_rng(0)
+    intervals = [axis_intervals(s, m) for s in SHAPE]
+    noisy = rng.poisson(40.0, size=m * m).astype(float)
+    noisy += rng.laplace(0.0, 2.0, size=m * m)
+    packed = packed_from_intervals(intervals, noisy, SHAPE)
+    return PrivateFrequencyMatrix.from_packed(packed, method="grid")
+
+
+def client_requests(n_clients, rng, q_low=1, q_high=6):
+    requests = []
+    for i in range(n_clients):
+        q = int(rng.integers(q_low, q_high))
+        a = rng.integers(0, SHAPE[0], size=(q, 2))
+        b = rng.integers(0, SHAPE[0], size=(q, 2))
+        requests.append(
+            QueryRequest(
+                np.minimum(a, b).astype(np.int64),
+                np.maximum(a, b).astype(np.int64),
+                workload=f"client-{i}",
+            )
+        )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def private():
+    return grid_private()
+
+
+class TestConcurrencyEquivalence:
+    """N interleaved clients ≡ serial answers, exactly (0.0 drift)."""
+
+    @pytest.mark.parametrize(
+        "plan", [PLAN_BROADCAST, PLAN_PRUNED, PLAN_DENSE, PLAN_SHARDED]
+    )
+    def test_batched_equals_serial_bit_for_bit(self, private, plan):
+        # For the sharded layout the per-shard kernel choice is also
+        # batch-shaped, so the serving config pins the whole route:
+        # plan="sharded" plus a prune threshold shards can never cross.
+        config = EngineConfig(
+            plan=plan,
+            n_shards=4 if plan == PLAN_SHARDED else None,
+            prune_min_partitions=(
+                10**9 if plan == PLAN_SHARDED else EngineConfig().prune_min_partitions
+            ),
+        )
+        engine = Engine(private, config)
+        requests = client_requests(24, np.random.default_rng(1))
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=24, max_batch_latency=30.0
+            )
+            return await gather_answers(batcher, requests), batcher.stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["ticks"] == 1  # one engine invocation for all clients
+        assert stats["answered_requests"] == 24
+        for request, answer in zip(requests, answers):
+            serial = engine.answer(request)
+            diff = float(np.abs(serial.answers - answer.answers).max())
+            assert diff == 0.0, f"plan={plan}: batched drifted by {diff}"
+            assert answer.workload == request.workload
+            assert answer.plan == serial.plan
+
+    def test_many_ticks_still_exact(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(30, np.random.default_rng(2))
+
+        async def run():
+            # Short latency so the 30 % 7 residue tick flushes on the
+            # timer instead of stalling the gather.
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=7, max_batch_latency=0.05
+            )
+            return await gather_answers(batcher, requests), batcher.stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["ticks"] >= 4  # size-30 load over size-7 ticks
+        for request, answer in zip(requests, answers):
+            assert (
+                float(
+                    np.abs(engine.answer(request).answers - answer.answers).max()
+                )
+                == 0.0
+            )
+
+
+class TestFlushTriggers:
+    def test_flush_on_size_does_not_wait_for_timeout(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(4, np.random.default_rng(3))
+
+        async def run():
+            # A latency budget far beyond the test timeout: only the
+            # size trigger can flush.
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=4, max_batch_latency=60.0
+            )
+            answers = await asyncio.wait_for(
+                gather_answers(batcher, requests), timeout=5.0
+            )
+            return answers, batcher.stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["ticks"] == 1 and len(answers) == 4
+
+    def test_flush_on_timeout_serves_partial_tick(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(2, np.random.default_rng(4))
+
+        async def run():
+            # Size trigger unreachable: only the latency timer fires.
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=10_000, max_batch_latency=0.05
+            )
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            answers = await asyncio.wait_for(
+                gather_answers(batcher, requests), timeout=5.0
+            )
+            return answers, batcher.stats, loop.time() - start
+
+        answers, stats, elapsed = asyncio.run(run())
+        assert stats["ticks"] == 1 and len(answers) == 2
+        assert elapsed >= 0.05  # the tick waited for the latency budget
+
+    def test_drain_flushes_immediately(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        [request] = client_requests(1, np.random.default_rng(5))
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=10_000, max_batch_latency=60.0
+            )
+            task = asyncio.ensure_future(batcher.answer(request))
+            await asyncio.sleep(0)  # let the request enqueue
+            assert batcher.pending_requests == 1
+            await batcher.drain()
+            return await asyncio.wait_for(task, timeout=1.0)
+
+        answer = asyncio.run(run())
+        assert (
+            float(np.abs(engine.answer(request).answers - answer.answers).max())
+            == 0.0
+        )
+
+    def test_invalid_flush_thresholds_rejected(self, private):
+        engine = Engine(private)
+        with pytest.raises(QueryError, match="max_batch_size"):
+            AsyncBatchEngine(engine, max_batch_size=0)
+        with pytest.raises(QueryError, match="max_batch_latency"):
+            AsyncBatchEngine(engine, max_batch_latency=-1)
+
+
+class TestCancellationAndErrors:
+    def test_cancelled_client_does_not_corrupt_the_tick(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(3, np.random.default_rng(6))
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=3, max_batch_latency=60.0
+            )
+            first = asyncio.ensure_future(batcher.answer(requests[0]))
+            second = asyncio.ensure_future(batcher.answer(requests[1]))
+            await asyncio.sleep(0)
+            second.cancel()  # abandon a pending client mid-tick
+            # The third request hits the size trigger and flushes.
+            third = await batcher.answer(requests[2])
+            return await first, third, second, batcher.stats
+
+        first, third, second, stats = asyncio.run(run())
+        assert second.cancelled()
+        assert stats["dropped_requests"] == 1
+        assert stats["answered_requests"] == 2
+        # Survivors get exactly their own answers, unshifted.
+        for request, answer in ((requests[0], first), (requests[2], third)):
+            assert (
+                float(
+                    np.abs(engine.answer(request).answers - answer.answers).max()
+                )
+                == 0.0
+            )
+
+    def test_malformed_request_fails_its_caller_only(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        good = client_requests(1, np.random.default_rng(7))[0]
+        bad = QueryRequest(
+            np.array([[0, 0]], dtype=np.int64),
+            np.array([[999, 999]], dtype=np.int64),
+        )
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=2, max_batch_latency=0.05
+            )
+            good_task = asyncio.ensure_future(batcher.answer(good))
+            await asyncio.sleep(0)
+            with pytest.raises(QueryError, match="outside matrix shape"):
+                await batcher.answer(bad)  # rejected before enqueueing
+            return await asyncio.wait_for(good_task, timeout=5.0)
+
+        answer = asyncio.run(run())
+        assert (
+            float(np.abs(engine.answer(good).answers - answer.answers).max())
+            == 0.0
+        )
+
+    def test_engine_failure_propagates_to_all_tick_clients(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingEngine:
+            config = engine.config
+            private = engine.private
+
+            def answer(self, request):
+                raise Boom("kernel exploded")
+
+        requests = client_requests(2, np.random.default_rng(8))
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                ExplodingEngine(), max_batch_size=2, max_batch_latency=60.0
+            )
+            results = await asyncio.gather(
+                *(batcher.answer(r) for r in requests),
+                return_exceptions=True,
+            )
+            return results
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, Boom) for r in results)
+
+    @pytest.mark.parametrize("width", [2, 0])
+    def test_zero_query_request_resolves(self, private, width):
+        # Zero-query requests — including the (0, 0)-shaped arrays
+        # QueryRequest.from_boxes([]) builds — are answered inline
+        # without entering (or stalling) a tick, matching the sync
+        # engine's empty-batch contract.
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        empty = QueryRequest(
+            np.empty((0, width), dtype=np.int64),
+            np.empty((0, width), dtype=np.int64),
+        )
+        [other] = client_requests(1, np.random.default_rng(9))
+
+        async def run():
+            batcher = AsyncBatchEngine(
+                engine, max_batch_size=1, max_batch_latency=60.0
+            )
+            empty_answer = await batcher.answer(empty)
+            assert batcher.pending_requests == 0  # never enqueued
+            other_answer = await batcher.answer(other)
+            return empty_answer, other_answer
+
+        empty_answer, other_answer = asyncio.run(run())
+        assert empty_answer.n_queries == 0
+        assert empty_answer.plan == PLAN_BROADCAST
+        assert (
+            float(
+                np.abs(engine.answer(other).answers - other_answer.answers).max()
+            )
+            == 0.0
+        )
+
+    def test_from_boxes_empty_served_like_sync(self, private):
+        engine = Engine(private)
+        request = QueryRequest.from_boxes([])
+
+        async def run():
+            batcher = AsyncBatchEngine(engine, max_batch_size=4)
+            return await batcher.answer(request)
+
+        answer = asyncio.run(run())
+        sync = engine.answer(request)
+        assert answer.n_queries == sync.n_queries == 0
+        assert answer.plan == sync.plan

@@ -1,0 +1,143 @@
+"""EngineConfig: validation, string/env overrides, cost-rule threading."""
+
+import pytest
+
+from repro.core import PlanCost, QueryError, ValidationError
+from repro.core.interval_index import (
+    PRUNE_MIN_PARTITIONS,
+    PRUNE_OVERHEAD_PAIRS,
+    PRUNE_SAFETY_FACTOR,
+)
+from repro.core.private_matrix import (
+    DENSE_SWITCH_FACTOR,
+    DENSE_SWITCH_MAX_CELLS,
+)
+from repro.engine import ENGINE_PLANS, EngineConfig
+
+
+class TestDefaultsAndValidation:
+    def test_defaults_mirror_module_constants(self):
+        config = EngineConfig()
+        assert config.dense_switch_factor == DENSE_SWITCH_FACTOR
+        assert config.dense_switch_max_cells == DENSE_SWITCH_MAX_CELLS
+        assert config.prune_min_partitions == PRUNE_MIN_PARTITIONS
+        assert config.prune_overhead_pairs == PRUNE_OVERHEAD_PAIRS
+        assert config.prune_safety_factor == PRUNE_SAFETY_FACTOR
+        assert config.plan is None and not config.wants_sharding
+
+    @pytest.mark.parametrize("plan", ENGINE_PLANS)
+    def test_known_plans_accepted(self, plan):
+        assert EngineConfig(plan=plan).plan == plan
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(QueryError, match="unknown packed query plan"):
+            EngineConfig(plan="sideways")
+
+    def test_sharding_knobs_imply_sharded_only(self):
+        assert EngineConfig(n_shards=3).wants_sharding
+        assert EngineConfig(shard_executor=object()).wants_sharding
+        assert EngineConfig(plan="sharded", n_shards=3).n_shards == 3
+        with pytest.raises(QueryError, match="sharded"):
+            EngineConfig(plan="broadcast", n_shards=3)
+        with pytest.raises(QueryError, match="n_shards"):
+            EngineConfig(n_shards=0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("dense_switch_factor", 0),
+        ("prune_safety_factor", -1.0),
+        ("prune_overhead_pairs", 0),
+        ("dense_switch_max_cells", -1),
+        ("prune_min_partitions", -5),
+        ("max_batch_size", 0),
+        ("max_batch_latency", -0.1),
+    ])
+    def test_numeric_fields_validated(self, field, value):
+        with pytest.raises(ValidationError, match=field):
+            EngineConfig(**{field: value})
+
+    def test_plan_cost_carries_prune_fields(self):
+        config = EngineConfig(
+            prune_min_partitions=9,
+            prune_overhead_pairs=1.5,
+            prune_safety_factor=2.0,
+        )
+        assert config.plan_cost() == PlanCost(
+            min_partitions=9, overhead_pairs=1.5, safety_factor=2.0
+        )
+
+    def test_with_overrides_revalidates(self):
+        config = EngineConfig()
+        assert config.with_overrides(n_shards=4).n_shards == 4
+        with pytest.raises(QueryError):
+            config.with_overrides(plan="pruned", n_shards=4)
+
+
+class TestStringOverrides:
+    def test_parse_types(self):
+        overrides = EngineConfig.parse_overrides(
+            "plan=sharded, n_shards=4, prune_safety_factor=2.5,"
+            "max_batch_size=32, max_batch_latency=0.01"
+        )
+        assert overrides == {
+            "plan": "sharded",
+            "n_shards": 4,
+            "prune_safety_factor": 2.5,
+            "max_batch_size": 32,
+            "max_batch_latency": 0.01,
+        }
+
+    def test_from_string_layers_on_base(self):
+        base = EngineConfig(max_batch_size=16)
+        config = EngineConfig.from_string("plan=dense", base=base)
+        assert config.plan == "dense" and config.max_batch_size == 16
+
+    def test_none_clears_optional_field(self):
+        base = EngineConfig(n_shards=4)
+        assert EngineConfig.from_string("n_shards=none", base=base).n_shards is None
+
+    def test_none_rejected_for_required_fields(self):
+        # Clearing a threshold has no meaning; it must be a clean
+        # ValidationError, not a TypeError out of __post_init__.
+        with pytest.raises(ValidationError, match="cannot be cleared"):
+            EngineConfig.from_string("max_batch_size=none")
+        with pytest.raises(ValidationError, match="cannot be cleared"):
+            EngineConfig.from_env(
+                environ={"REPRO_ENGINE_DENSE_SWITCH_FACTOR": "none"}
+            )
+
+    def test_empty_string_is_noop(self):
+        assert EngineConfig.from_string("") == EngineConfig()
+
+    @pytest.mark.parametrize("text,match", [
+        ("plan", "key=value"),
+        ("shard_executor=x", "unknown engine-config field"),
+        ("bogus=1", "unknown engine-config field"),
+        ("n_shards=lots", "bad value"),
+    ])
+    def test_malformed_rejected(self, text, match):
+        with pytest.raises(ValidationError, match=match):
+            EngineConfig.parse_overrides(text)
+
+
+class TestEnvOverrides:
+    def test_env_vars_override(self):
+        environ = {
+            "REPRO_ENGINE_PLAN": "sharded",
+            "REPRO_ENGINE_N_SHARDS": "5",
+            "REPRO_ENGINE_MAX_BATCH_LATENCY": "0.5",
+        }
+        config = EngineConfig.from_env(environ=environ)
+        assert config.plan == "sharded"
+        assert config.n_shards == 5
+        assert config.max_batch_latency == 0.5
+
+    def test_empty_and_absent_vars_keep_base(self):
+        base = EngineConfig(n_shards=2)
+        config = EngineConfig.from_env(
+            base=base, environ={"REPRO_ENGINE_PLAN": ""}
+        )
+        assert config == base
+
+    def test_real_environ_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_PRUNE_SAFETY_FACTOR", "3.5")
+        assert EngineConfig.from_env().prune_safety_factor == 3.5

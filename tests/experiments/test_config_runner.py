@@ -49,6 +49,16 @@ class TestScale:
         s = TINY_SCALE.with_overrides(n_shards=3)
         assert s.n_shards == 3
 
+    def test_engine_config_exclusive_with_n_shards(self):
+        from repro.engine import EngineConfig
+
+        s = TINY_SCALE.with_overrides(engine_config=EngineConfig(n_shards=3))
+        assert s.engine_config.n_shards == 3
+        with pytest.raises(ValidationError, match="not both"):
+            TINY_SCALE.with_overrides(
+                n_shards=3, engine_config=EngineConfig()
+            )
+
 
 class TestMethodSpec:
     def test_plain_label(self):
@@ -204,18 +214,28 @@ class TestMixedPlanAggregation:
         assert len(agg) == 1
         assert agg[0]["plan"] == "broadcast+pruned+sharded"
 
-    def test_blank_plans_are_dropped_from_the_join(self):
+    def test_every_member_plan_survives_the_join(self):
+        # The engine stamps a concrete plan on every batch, so the join
+        # is a plain sorted dedup — no blank-plan special-casing (mixed
+        # sharded batches carry their per-shard detail on the
+        # evaluation result's shard_plans instead).
         rows = [
             self._row("w1", 0, 1.0, 0.1, plan="dense"),
-            self._row("w1", 1, 1.0, 0.1, plan=""),  # legacy row, no plan
+            self._row("w1", 1, 1.0, 0.1, plan="sharded"),
         ]
         agg = aggregate_rows(rows, keys=("method", "epsilon"))
-        assert agg[0]["plan"] == "dense"
+        assert agg[0]["plan"] == "dense+sharded"
 
-    def test_all_blank_plans_aggregate_to_empty(self):
-        rows = [self._row("w1", t, 1.0, 0.1) for t in (0, 1)]
+    def test_legacy_blank_plan_surfaces_as_unknown(self):
+        # Rows built outside the engine (pre-engine archives) may still
+        # carry the dataclass default "" — they surface honestly rather
+        # than vanishing or producing a "+dense"-style join.
+        rows = [
+            self._row("w1", 0, 1.0, 0.1, plan="dense"),
+            self._row("w1", 1, 1.0, 0.1),  # legacy row, no plan
+        ]
         agg = aggregate_rows(rows, keys=("method", "epsilon"))
-        assert agg[0]["plan"] == ""
+        assert agg[0]["plan"] == "dense+unknown"
 
     def test_homogeneous_plan_unchanged(self):
         rows = [

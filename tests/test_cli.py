@@ -32,6 +32,21 @@ class TestParser:
         assert args.n_shards == 3
         assert build_parser().parse_args(["figure", "table3"]).n_shards is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.clients == 32
+        assert args.queries_per_client == 4
+        assert args.engine_config is None
+
+    def test_engine_config_flag_everywhere(self):
+        for command in ("sanitize", "figure", "compare", "serve"):
+            argv = [command, "table3"] if command == "figure" else [command]
+            args = build_parser().parse_args(
+                argv + ["--engine-config", "plan=dense"]
+            )
+            assert args.engine_config == "plan=dense"
+
 
 class TestCommands:
     def test_methods_lists_all(self, capsys):
@@ -91,3 +106,45 @@ class TestCommands:
         )
         assert code == 0
         assert "sharded" in capsys.readouterr().out
+
+    def test_figure_with_engine_config(self, capsys):
+        # The full EngineConfig path: a sharded config through
+        # --engine-config instead of the legacy --n-shards knob.
+        # n_shards alone (no forced plan) lets dense-backed methods in
+        # the mixed set keep their dense route.
+        code = main([
+            "figure", "table3", "--scale", "tiny",
+            "--engine-config", "n_shards=2",
+        ])
+        assert code == 0
+        assert "sharded" in capsys.readouterr().out
+
+    def test_sanitize_with_engine_config(self, capsys):
+        code = main([
+            "sanitize", "--dataset", "gaussian", "--n-points", "4000",
+            "--dims", "2", "--method", "ebp", "--n-queries", "20",
+            "--engine-config", "plan=broadcast",
+        ])
+        assert code == 0
+
+    def test_bad_engine_config_rejected(self):
+        from repro.core import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown engine-config"):
+            main([
+                "sanitize", "--dataset", "gaussian", "--n-points", "2000",
+                "--n-queries", "10", "--engine-config", "bogus=1",
+            ])
+
+    def test_serve_smoke(self, capsys):
+        code = main([
+            "serve", "--dataset", "gaussian", "--n-points", "4000",
+            "--dims", "2", "--method", "ag", "--clients", "8",
+            "--queries-per-client", "3",
+            "--engine-config", "plan=broadcast,max_batch_size=8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 8 clients" in out
+        assert "1 tick(s)" in out
+        assert "max |batched - serial| = 0" in out

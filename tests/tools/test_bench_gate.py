@@ -37,8 +37,16 @@ SHARDED_BASELINE = {
     "usable_cores": 8,
 }
 
+ASYNC_BASELINE = {
+    "speedup": 3.0,
+    "sync_speedup": 1.8,
+    "async_max_abs_diff": 0.0,
+    "batched_ticks": 1,
+}
 
-def write_artifacts(directory, query=None, parallel=None, sharded=None):
+
+def write_artifacts(directory, query=None, parallel=None, sharded=None,
+                    async_batching=None):
     directory.mkdir(parents=True, exist_ok=True)
     if query is not None:
         (directory / "BENCH_query_engine.json").write_text(json.dumps(query))
@@ -48,6 +56,10 @@ def write_artifacts(directory, query=None, parallel=None, sharded=None):
         )
     if sharded is not None:
         (directory / "BENCH_sharded.json").write_text(json.dumps(sharded))
+    if async_batching is not None:
+        (directory / "BENCH_async_batching.json").write_text(
+            json.dumps(async_batching)
+        )
 
 
 def run_gate(baseline, fresh, *extra):
@@ -196,6 +208,66 @@ class TestShardedArtifact:
             baseline, QUERY_BASELINE, PARALLEL_BASELINE, SHARDED_BASELINE
         )
         write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE, skipped)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+
+class TestAsyncBatchingArtifact:
+    """BENCH_async_batching.json: tracked speedup + exact-zero ceiling."""
+
+    def test_identical_async_artifacts_pass(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=ASYNC_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=ASYNC_BASELINE,
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+        assert "BENCH_async_batching.json:speedup" in result.stdout
+
+    def test_async_speedup_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=ASYNC_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=dict(ASYNC_BASELINE, speedup=1.2),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "FAIL  BENCH_async_batching.json:speedup" in result.stdout
+
+    def test_async_drift_fails_even_without_baseline(self, dirs):
+        # The exactness ceiling is absolute; drift in the demultiplexed
+        # answers is a correctness bug regardless of history.
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=dict(ASYNC_BASELINE, async_max_abs_diff=1e-7),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "async_max_abs_diff" in result.stdout
+
+    def test_untracked_sync_speedup_ignored(self, dirs):
+        # sync_speedup is context, not a gated series: it may collapse
+        # without failing the gate.
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=ASYNC_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            async_batching=dict(ASYNC_BASELINE, sync_speedup=0.1),
+        )
         result = run_gate(baseline, fresh)
         assert result.returncode == 0, result.stdout
 

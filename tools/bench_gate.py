@@ -17,7 +17,8 @@ Usage (what the CI ``bench-gate`` job runs; also works locally)::
     REPRO_BENCH_SCALE=tiny PYTHONPATH=src python -m pytest \
         benchmarks/test_micro_query_engine.py \
         benchmarks/test_micro_parallel_trials.py \
-        benchmarks/test_micro_sharded.py -q
+        benchmarks/test_micro_sharded.py \
+        benchmarks/test_micro_async_batching.py -q
     python tools/bench_gate.py --baseline /tmp/bench-baseline --fresh .
 
 Rules
@@ -31,6 +32,10 @@ Rules
   (on either side) is ignored: a narrow machine measures the machine,
   not the code.  ``BENCH_sharded.json``'s ``sharded_max_abs_diff``
   exactness ceiling is enforced regardless of the marker.
+* ``BENCH_async_batching.json`` — ``speedup`` (micro-batched vs
+  one-by-one through the async serving endpoint; single-threaded, so
+  never core-skipped) and the ``async_max_abs_diff`` exactness ceiling
+  (the benchmark itself asserts it is exactly 0).
 * A key present in the baseline but missing from a fresh artifact (or a
   missing fresh artifact) fails the gate — silently dropping a tracked
   series is itself a regression.  This applies to exactness series as
@@ -57,6 +62,7 @@ SPEEDUP_KEYS = {
     ],
     "BENCH_parallel_trials.json": ["speedup"],
     "BENCH_sharded.json": ["speedup"],
+    "BENCH_async_batching.json": ["speedup"],
 }
 
 #: Exactness fields (absolute ceilings, not baseline-relative).
@@ -67,6 +73,7 @@ ABS_DIFF_KEYS = {
         "pruned_max_abs_diff",
     ],
     "BENCH_sharded.json": ["sharded_max_abs_diff"],
+    "BENCH_async_batching.json": ["async_max_abs_diff"],
 }
 
 #: An artifact with this key set to true is excluded from speedup
