@@ -13,10 +13,14 @@ Commands
 ``compare``
     MRE comparison table of several methods on one dataset.
 ``serve``
-    Async micro-batching smoke demo: sanitize once, then fire N
-    concurrent asyncio clients at an
-    :class:`~repro.engine.AsyncBatchEngine` and report tick stats,
-    amortized latency, and batched-vs-serial drift (expected 0).
+    With ``--port``: run the real HTTP serving layer
+    (:class:`~repro.engine.EngineServer` — ``POST /v1/query``,
+    ``GET /healthz``, ``GET /statz``) over one sanitized dataset until
+    interrupted, draining gracefully on SIGINT/SIGTERM; ``--off-loop``
+    (default) dispatches each tick's kernel into a worker thread so the
+    event loop stays responsive under heavy ticks.  Without ``--port``:
+    the in-process async micro-batching smoke demo (N concurrent
+    asyncio clients, tick stats, batched-vs-serial drift, expected 0).
 
 Every query-answering command accepts ``--engine-config`` with
 comma-separated ``key=value`` pairs over the
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 import time
 from typing import List
@@ -37,11 +42,12 @@ from typing import List
 import numpy as np
 
 from .core.frequency_matrix import FrequencyMatrix
-from .datagen import get_city, gaussian_matrix, zipf_matrix
+from .datagen import get_city, gaussian_matrix, grid_substrate, zipf_matrix
 from .engine import (
     AsyncBatchEngine,
     Engine,
     EngineConfig,
+    EngineServer,
     QueryRequest,
     gather_answers,
 )
@@ -171,22 +177,84 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Async micro-batching smoke demo over one sanitized dataset.
-
-    Simulates ``--clients`` concurrent asyncio clients, each awaiting
-    its own small random batch against one
-    :class:`~repro.engine.AsyncBatchEngine`, then checks the batched
-    answers against serial :meth:`~repro.engine.Engine.answer` calls
-    and prints tick statistics and amortized per-query latency.
-    """
+def _serve_engine(args: argparse.Namespace) -> Engine:
+    """The engine ``serve`` fronts: sanitized dataset or bench substrate."""
+    config = _engine_config(args)
+    if args.bench_substrate is not None:
+        private = grid_substrate(
+            shape=(args.bench_shape,) * 2,
+            m=args.bench_substrate,
+            seed=args.seed,
+        )
+        print(
+            f"bench substrate: shape={private.shape}, "
+            f"k={private.n_partitions} partitions",
+            file=sys.stderr,
+        )
+        return Engine(private, config)
     matrix = _build_dataset(args)
     print(f"dataset: shape={matrix.shape}, N={matrix.total:,.0f}",
           file=sys.stderr)
     sanitizer = get_sanitizer(args.method)
     private = sanitizer.sanitize(matrix, args.epsilon, rng=args.seed + 1)
-    config = _engine_config(args)
-    engine = Engine(private, config)
+    return Engine(private, config)
+
+
+def _run_server(args: argparse.Namespace, engine: Engine) -> int:
+    """Run the HTTP serving layer until SIGINT/SIGTERM, then drain."""
+    server = EngineServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        off_loop=args.off_loop,
+        max_pending_requests=args.max_pending,
+        max_batch_queries=args.max_batch_queries,
+        request_timeout=args.request_timeout,
+    )
+
+    async def run():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        await server.start()
+        # The loadtest harness parses this line to find the bound port.
+        print(f"serving on {server.url} (off_loop={server.off_loop})",
+              flush=True)
+        try:
+            await stop.wait()
+        finally:
+            print("draining...", file=sys.stderr)
+            await server.shutdown()
+            stats = server.statz()
+            print(
+                f"served {stats['counters']['answered_requests']} requests "
+                f"({stats['counters']['answered_queries']} queries) in "
+                f"{stats['counters']['ticks']} tick(s); "
+                f"max loop lag {stats['loop']['max_lag_ms']:.1f} ms",
+                file=sys.stderr,
+            )
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """HTTP serving layer (with ``--port``) or the async smoke demo.
+
+    The smoke demo simulates ``--clients`` concurrent asyncio clients,
+    each awaiting its own small random batch against one
+    :class:`~repro.engine.AsyncBatchEngine`, then checks the batched
+    answers against serial :meth:`~repro.engine.Engine.answer` calls
+    and prints tick statistics and amortized per-query latency.
+    """
+    engine = _serve_engine(args)
+    if args.port is not None:
+        return _run_server(args, engine)
+    matrix = engine.private  # smoke demo queries the private shape
     requests = [
         QueryRequest(
             *random_workload(
@@ -270,15 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_srv = sub.add_parser(
         "serve",
-        help="async micro-batching smoke demo (concurrent clients, "
-             "one engine call per tick)",
+        help="HTTP serving layer (--port) or the async micro-batching "
+             "smoke demo (no --port)",
     )
     _add_dataset_args(p_srv)
     p_srv.add_argument("--method", default="ag", choices=available_methods())
     p_srv.add_argument("--epsilon", type=float, default=0.5)
     p_srv.add_argument("--clients", type=int, default=32,
-                       help="simulated concurrent clients")
+                       help="simulated concurrent clients (smoke demo)")
     p_srv.add_argument("--queries-per-client", type=int, default=4)
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the HTTP server")
+    p_srv.add_argument("--port", type=int, default=None,
+                       help="run the real HTTP server on this port "
+                            "(0 = ephemeral; omit for the smoke demo)")
+    p_srv.add_argument("--off-loop", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="run each tick's kernel in a worker thread so "
+                            "the event loop stays responsive (default on; "
+                            "--no-off-loop runs kernels on the loop)")
+    p_srv.add_argument("--max-pending", type=int, default=1024,
+                       help="requests in flight before 503 backpressure")
+    p_srv.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds (504 past it)")
+    p_srv.add_argument("--max-batch-queries", type=int, default=100_000,
+                       help="largest query batch one POST may carry (413)")
+    p_srv.add_argument("--bench-substrate", type=int, default=None,
+                       metavar="M",
+                       help="serve a deterministic M-per-dimension "
+                            "uniform-grid substrate (k=M^2 partitions) "
+                            "instead of sanitizing a dataset — for load "
+                            "tests that verify exactness out-of-process")
+    p_srv.add_argument("--bench-shape", type=int, default=256,
+                       help="square side of the bench substrate matrix")
     _add_engine_config_arg(p_srv)
 
     return parser

@@ -1,6 +1,7 @@
 """Data generation: synthetic matrices (Section 6.1) and the Veraset
 substitute city/mobility models (see DESIGN.md, Substitutions)."""
 
+from .bench import grid_substrate
 from .cities import (
     CITY_NAMES,
     CITY_RESOLUTION,
@@ -28,6 +29,7 @@ from .zipf import zipf_matrix, zipf_points
 
 __all__ = [
     "ActivityCenter",
+    "grid_substrate",
     "CITY_NAMES",
     "CITY_RESOLUTION",
     "CITY_SIDE_KM",

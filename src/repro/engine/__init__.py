@@ -14,7 +14,13 @@ sanitized :class:`~repro.core.PrivateFrequencyMatrix`:
   all four execution strategies;
 * :class:`AsyncBatchEngine` — the asyncio micro-batching endpoint that
   coalesces concurrent clients into ticks answered by one engine
-  invocation each.
+  invocation each (optionally off-loop in a thread pool);
+* :class:`EngineServer` — the stdlib asyncio HTTP transport
+  (``POST /v1/query`` / ``GET /healthz`` / ``GET /statz``) with
+  backpressure, timeouts, and graceful drain;
+* :class:`ServingClient` / :class:`AsyncServingClient` — matching HTTP
+  clients that rebuild full :class:`QueryAnswer` objects; non-2xx
+  answers raise :class:`ServingError`.
 
 The kwarg-era entry points
 (``PrivateFrequencyMatrix.answer_arrays``/``answer_sharded``) survive
@@ -23,15 +29,21 @@ as deprecated shims over :class:`Engine`.
 
 from .api import QueryAnswer, QueryRequest
 from .async_batch import AsyncBatchEngine, gather_answers
+from .client import AsyncServingClient, ServingClient, ServingError
 from .config import ENGINE_PLANS, EngineConfig
 from .engine import Engine
+from .server import EngineServer
 
 __all__ = [
     "ENGINE_PLANS",
     "AsyncBatchEngine",
+    "AsyncServingClient",
     "Engine",
     "EngineConfig",
+    "EngineServer",
     "QueryAnswer",
     "QueryRequest",
+    "ServingClient",
+    "ServingError",
     "gather_answers",
 ]

@@ -34,17 +34,29 @@ Cancellation is safe: a client that abandons its pending request (task
 cancelled, timeout) is dropped at flush time — its queries are simply
 excluded from the tick and every other client's answers are unaffected.
 
-The engine is single-loop: all bookkeeping runs on the event loop, the
-numpy kernel runs inline in the flush (it releases the GIL for the
-heavy parts but blocks the loop for the call — acceptable for the
-amortization this engine exists to provide; put the whole engine in a
-worker if the loop must stay responsive during kernels).
+**On-loop vs off-loop kernels.**  All bookkeeping runs on the event
+loop.  By default the numpy kernel of a flushed tick also runs inline
+in the flush — it releases the GIL for the heavy parts but blocks the
+loop for the whole call, which is fine for short ticks and for the
+amortization this engine exists to provide.  Pass an ``executor`` (a
+:class:`concurrent.futures.ThreadPoolExecutor`) and every tick's
+:meth:`~repro.engine.Engine.answer` is instead dispatched through
+``loop.run_in_executor``: the loop keeps accepting requests, forming
+the next tick, and firing timeouts while the kernel runs in the worker
+thread.  Threads — not processes — are the right executor here because
+numpy releases the GIL inside the kernels, so the overlap is real and
+nothing is pickled.  Answers are identical either way (same
+:meth:`Engine.answer` call on the same concatenated batch);
+:meth:`drain` awaits in-flight off-loop ticks before returning, so
+shutdown never abandons a dispatched kernel.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Tuple
+from collections import deque
+from concurrent.futures import Executor
+from typing import Deque, Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -73,8 +85,9 @@ class AsyncBatchEngine:
     """Accumulate concurrent requests into ticks; answer each tick once.
 
     Wraps a synchronous :class:`~repro.engine.Engine`; flush thresholds
-    come from the engine's config unless overridden here.  Use from a
-    single event loop::
+    come from the engine's config unless overridden here, and an
+    optional ``executor`` moves each tick's kernel off the event loop
+    (see the module docstring).  Use from a single event loop::
 
         engine = Engine(private, EngineConfig(plan="broadcast"))
         batcher = AsyncBatchEngine(engine, max_batch_size=64)
@@ -87,9 +100,11 @@ class AsyncBatchEngine:
         *,
         max_batch_size: int | None = None,
         max_batch_latency: float | None = None,
+        executor: Executor | None = None,
     ):
         config = engine.config
         self._engine = engine
+        self._executor = executor
         self.max_batch_size = (
             config.max_batch_size if max_batch_size is None
             else int(max_batch_size)
@@ -109,10 +124,14 @@ class AsyncBatchEngine:
             )
         self._pending: List[_Pending] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+        self._inflight: Set["asyncio.Task[None]"] = set()
         self._ticks = 0
         self._answered_queries = 0
         self._answered_requests = 0
         self._dropped_requests = 0
+        self._last_tick_queries = 0
+        self._max_tick_queries = 0
+        self._tick_sizes: Deque[int] = deque(maxlen=4096)
 
     @property
     def engine(self) -> Engine:
@@ -123,6 +142,16 @@ class AsyncBatchEngine:
         return len(self._pending)
 
     @property
+    def inflight_ticks(self) -> int:
+        """Off-loop ticks dispatched to the executor and not yet demuxed."""
+        return len(self._inflight)
+
+    @property
+    def recent_tick_queries(self) -> Tuple[int, ...]:
+        """Query counts of the most recent ticks (bounded window)."""
+        return tuple(self._tick_sizes)
+
+    @property
     def stats(self) -> Dict[str, float]:
         """Cumulative serving counters (ticks, requests, queries)."""
         return {
@@ -130,6 +159,8 @@ class AsyncBatchEngine:
             "answered_requests": self._answered_requests,
             "answered_queries": self._answered_queries,
             "dropped_requests": self._dropped_requests,
+            "last_tick_queries": self._last_tick_queries,
+            "max_tick_queries": self._max_tick_queries,
             "mean_tick_queries": (
                 self._answered_queries / self._ticks if self._ticks else 0.0
             ),
@@ -169,14 +200,22 @@ class AsyncBatchEngine:
         return result.answers
 
     async def drain(self) -> None:
-        """Flush any pending tick immediately (shutdown hook)."""
+        """Flush pending and await in-flight ticks (shutdown hook)."""
         self._flush()
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight))
         # Let the just-resolved futures' awaiters run before returning.
         await asyncio.sleep(0)
 
     # ------------------------------------------------------------------
     def _flush(self) -> None:
-        """Answer every live pending request with one engine invocation."""
+        """Answer every live pending request with one engine invocation.
+
+        With an ``executor`` the engine invocation is dispatched off the
+        event loop (a tracked :class:`asyncio.Task` awaits the worker
+        thread and demuxes); without one it runs inline, blocking the
+        loop for the duration of the kernel.
+        """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
@@ -188,14 +227,49 @@ class AsyncBatchEngine:
             return
         lows = np.concatenate([p.request.lows for p in live], axis=0)
         highs = np.concatenate([p.request.highs for p in live], axis=0)
-        try:
-            tick = self._engine.answer(QueryRequest(lows, highs))
-        except Exception as exc:  # noqa: BLE001 - forwarded to clients
-            for p in live:
-                if not p.future.done():
-                    p.future.set_exception(exc)
+        request = QueryRequest(lows, highs)
+        if self._executor is not None:
+            task = asyncio.get_running_loop().create_task(
+                self._run_tick_off_loop(live, request)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
             return
+        try:
+            tick = self._engine.answer(request)
+        except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            self._fail(live, exc)
+            return
+        self._demux(live, tick)
+
+    async def _run_tick_off_loop(
+        self, live: List[_Pending], request: QueryRequest
+    ) -> None:
+        """Run one tick's kernel in the executor, then demux on-loop."""
+        loop = asyncio.get_running_loop()
+        try:
+            tick = await loop.run_in_executor(
+                self._executor, self._engine.answer, request
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            self._fail(live, exc)
+            return
+        self._demux(live, tick)
+
+    @staticmethod
+    def _fail(live: List[_Pending], exc: BaseException) -> None:
+        for p in live:
+            if not p.future.done():
+                p.future.set_exception(exc)
+
+    def _demux(self, live: List[_Pending], tick: QueryAnswer) -> None:
+        """Slice one answered tick back into per-client futures."""
         self._ticks += 1
+        self._last_tick_queries = int(tick.n_queries)
+        self._max_tick_queries = max(
+            self._max_tick_queries, self._last_tick_queries
+        )
+        self._tick_sizes.append(self._last_tick_queries)
         offset = 0
         for p in live:
             chunk = tick.answers[offset:offset + p.n_queries]

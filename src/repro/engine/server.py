@@ -1,0 +1,583 @@
+"""Stdlib-only asyncio HTTP transport in front of the serving facade.
+
+This module is the network front door of the engine: an
+:class:`EngineServer` binds one :class:`~repro.engine.Engine` to a TCP
+port and answers JSON over HTTP/1.1 (keep-alive), feeding every
+``POST /v1/query`` into an :class:`~repro.engine.AsyncBatchEngine` so
+concurrent HTTP clients are coalesced into micro-batched ticks exactly
+like in-process asyncio clients.  Endpoints (full request/response
+schemas in ``docs/SERVING.md``):
+
+* ``POST /v1/query`` — a JSON query batch (``lows``/``highs``
+  ``(q, d)`` integer lists plus an optional ``workload`` tag); answers
+  are **bit-identical** to an in-process ``Engine.answer`` call: the
+  transport serializes float64 answers through ``repr``-exact JSON and
+  never re-orders or re-reduces anything.
+* ``GET /healthz`` — liveness; 200 while serving, 503 while draining.
+* ``GET /statz`` — monotone serving counters plus gauges: latency
+  percentiles, tick-size distribution, queue depth, and the event-loop
+  lag measured by :class:`LoopLagMonitor`.
+
+**Off-loop kernels.**  With ``off_loop=True`` (the default) each
+flushed tick's engine invocation is dispatched through
+``loop.run_in_executor`` into a :class:`ThreadPoolExecutor`, so the
+event loop keeps accepting connections, parsing requests, forming the
+next tick, and firing timeouts while a heavy kernel runs.  Threads give
+real overlap because numpy releases the GIL inside the kernels — no
+pickling, no copies.  ``off_loop=False`` runs kernels inline on the
+loop (the PR-5 behavior), kept both as a comparison baseline for the
+responsiveness benchmark and for single-threaded debugging.
+
+**Flow control.**  Three protections keep an overloaded server honest
+instead of unbounded: a queue-depth cap (`max_pending_requests`)
+answered with **503 + Retry-After** before the request touches the
+batcher; a per-request batch-size cap (`max_batch_queries`) answered
+with **413**; and a per-request timeout answered with **504** whose
+``asyncio.wait_for`` cancellation drops the request from its tick
+without disturbing tick-mates (the AsyncBatchEngine cancellation
+contract).  Shutdown is graceful: :meth:`EngineServer.shutdown` stops
+accepting connections, refuses new queries with 503, lets in-flight
+ticks complete, and only then tears down the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import QueryError, ValidationError
+from .async_batch import AsyncBatchEngine
+from .api import QueryRequest
+from .engine import Engine
+
+#: Queue-depth cap: queries queued or executing above this answer 503.
+DEFAULT_MAX_PENDING_REQUESTS = 1024
+
+#: Largest query batch one POST may carry (larger answers 413).
+DEFAULT_MAX_BATCH_QUERIES = 100_000
+
+#: Largest request body in bytes (larger answers 413).
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Per-request serving deadline (exceeded answers 504).
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Seconds suggested to a 503-rejected client via ``Retry-After``.
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Heartbeat period of the loop-lag monitor.
+HEARTBEAT_INTERVAL = 0.005
+
+#: Ring-buffer window for latency percentiles in ``/statz``.
+LATENCY_WINDOW = 8192
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = int(round((q / 100.0) * (len(sorted_values) - 1)))
+    return float(sorted_values[rank])
+
+
+class LoopLagMonitor:
+    """Measures event-loop responsiveness with a heartbeat coroutine.
+
+    Sleeps ``interval`` seconds in a loop and records how much later
+    than scheduled each wake-up arrives.  ``max_lag`` is therefore the
+    longest stretch the loop spent unable to run ready callbacks — with
+    on-loop kernels it approaches the heaviest tick's kernel time, with
+    off-loop kernels it stays near zero.  This is the number the
+    serving benchmark's responsiveness ratio is built from.
+    """
+
+    def __init__(self, interval: float = HEARTBEAT_INTERVAL):
+        self.interval = float(interval)
+        self.max_lag = 0.0
+        self.beats = 0
+        self._task: "asyncio.Task[None] | None" = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def reset(self) -> None:
+        """Forget recorded lag (e.g. between load-test phases)."""
+        self.max_lag = 0.0
+        self.beats = 0
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(self.interval)
+            lag = loop.time() - before - self.interval
+            if lag > self.max_lag:
+                self.max_lag = lag
+            self.beats += 1
+
+
+class EngineServer:
+    """One engine, one port: the asyncio HTTP serving layer.
+
+    Typical use (the CLI ``repro serve --port N`` path)::
+
+        server = EngineServer(engine, port=8080)
+        asyncio.run(server.serve_until())        # Ctrl-C drains and exits
+
+    or embedded in an existing loop::
+
+        await server.start()                     # binds; server.port set
+        ...
+        await server.shutdown()                  # graceful drain
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        off_loop: bool = True,
+        executor: ThreadPoolExecutor | None = None,
+        max_batch_size: int | None = None,
+        max_batch_latency: float | None = None,
+        max_pending_requests: int = DEFAULT_MAX_PENDING_REQUESTS,
+        max_batch_queries: int = DEFAULT_MAX_BATCH_QUERIES,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    ):
+        if max_pending_requests < 1:
+            raise ValidationError(
+                f"max_pending_requests must be >= 1, got "
+                f"{max_pending_requests}"
+            )
+        if max_batch_queries < 1:
+            raise ValidationError(
+                f"max_batch_queries must be >= 1, got {max_batch_queries}"
+            )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValidationError(
+                f"request_timeout must be positive or None, got "
+                f"{request_timeout}"
+            )
+        self.engine = engine
+        self.host = host
+        self.port = int(port)  # rewritten with the bound port on start()
+        self.off_loop = bool(off_loop)
+        self.max_pending_requests = int(max_pending_requests)
+        self.max_batch_queries = int(max_batch_queries)
+        self.max_body_bytes = int(max_body_bytes)
+        self.request_timeout = request_timeout
+        self.retry_after = float(retry_after)
+        self._requested_port = int(port)
+        self._max_batch_size = max_batch_size
+        self._max_batch_latency = max_batch_latency
+        self._executor = executor
+        self._own_executor = off_loop and executor is None
+        self._heartbeat_interval = float(heartbeat_interval)
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: AsyncBatchEngine | None = None
+        self.monitor = LoopLagMonitor(heartbeat_interval)
+        self._draining = False
+        self._in_progress = 0
+        self._started_at = 0.0
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._counters: Dict[str, int] = {
+            "connections_total": 0,
+            "requests_total": 0,
+            "answered_requests": 0,
+            "answered_queries": 0,
+            "bad_requests": 0,
+            "rejected_oversized": 0,
+            "rejected_queue_full": 0,
+            "timeouts": 0,
+            "client_disconnects": 0,
+            "not_found": 0,
+            "health_checks": 0,
+            "stat_checks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def batcher(self) -> AsyncBatchEngine:
+        if self._batcher is None:
+            raise RuntimeError("server not started")
+        return self._batcher
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind and begin accepting connections; sets :attr:`port`."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self.off_loop and self._executor is None:
+            # One worker is deliberate: ticks are answered in flush
+            # order and numpy already uses the cores inside a kernel.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-tick"
+            )
+        self._batcher = AsyncBatchEngine(
+            self.engine,
+            max_batch_size=self._max_batch_size,
+            max_batch_latency=self._max_batch_latency,
+            executor=self._executor if self.off_loop else None,
+        )
+        self._draining = False
+        self._started_at = time.time()
+        self.monitor.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight ticks."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # In-progress requests either resolve with their tick or hit
+        # their own timeout; both paths decrement the gauge.
+        while self._in_progress > 0:
+            await asyncio.sleep(self._heartbeat_interval)
+        await self._batcher.drain()
+        self.monitor.stop()
+        if self._own_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for writer in tuple(self._connections):
+            writer.close()
+
+    async def serve_until(self, stop: "asyncio.Event | None" = None) -> None:
+        """Start, run until ``stop`` is set (or cancelled), then drain."""
+        await self.start()
+        try:
+            if stop is None:
+                stop = asyncio.Event()
+            await stop.wait()
+        finally:
+            await self.shutdown()
+
+    async def __aenter__(self) -> "EngineServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self._counters["connections_total"] += 1
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    self._counters["bad_requests"] += 1
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"},
+                        close=True,
+                    )
+                    break
+                method, target, version = parts
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    break
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    self._counters["bad_requests"] += 1
+                    await self._respond(
+                        writer, 400, {"error": "bad Content-Length"},
+                        close=True,
+                    )
+                    break
+                if length > self.max_body_bytes:
+                    self._counters["rejected_oversized"] += 1
+                    await self._respond(
+                        writer, 413,
+                        {
+                            "error": "request body too large",
+                            "max_body_bytes": self.max_body_bytes,
+                        },
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version == "HTTP/1.0"
+                    or self._draining
+                )
+                status, payload, extra = await self._dispatch(
+                    method, target.partition("?")[0], body
+                )
+                await self._respond(
+                    writer, status, payload, extra_headers=extra, close=close
+                )
+                if close:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            self._counters["client_disconnects"] += 1
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> "Dict[str, str] | None":
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:
+                return None
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        extra_headers: "List[str] | None" = None,
+        close: bool = False,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        lines.extend(extra_headers or ())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict, "List[str] | None"]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}, None
+            self._counters["health_checks"] += 1
+            if self._draining:
+                return 503, {"status": "draining"}, self._retry_header()
+            return 200, {"status": "ok"}, None
+        if path == "/statz":
+            if method != "GET":
+                return 405, {"error": "statz is GET-only"}, None
+            self._counters["stat_checks"] += 1
+            return 200, self.statz(), None
+        if path == "/v1/query":
+            if method != "POST":
+                return 405, {"error": "query is POST-only"}, None
+            return await self._query(body)
+        self._counters["not_found"] += 1
+        return 404, {"error": f"no route for {path!r}"}, None
+
+    def _retry_header(self) -> List[str]:
+        return [f"Retry-After: {self.retry_after:g}"]
+
+    async def _query(self, body: bytes) -> Tuple[int, dict, "List[str] | None"]:
+        self._counters["requests_total"] += 1
+        if self._draining:
+            return (
+                503,
+                {"error": "server is draining"},
+                self._retry_header(),
+            )
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            self._counters["bad_requests"] += 1
+            return 400, {"error": f"invalid JSON: {exc}"}, None
+        if not isinstance(payload, dict):
+            self._counters["bad_requests"] += 1
+            return 400, {"error": "request body must be a JSON object"}, None
+        workload = payload.get("workload", "")
+        if not isinstance(workload, str):
+            self._counters["bad_requests"] += 1
+            return 400, {"error": "workload must be a string"}, None
+        try:
+            lows = np.asarray(payload.get("lows"), dtype=np.int64)
+            highs = np.asarray(payload.get("highs"), dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            self._counters["bad_requests"] += 1
+            return (
+                400,
+                {"error": f"lows/highs must be (q, d) integer arrays ({exc})"},
+                None,
+            )
+        n_queries = int(lows.shape[0]) if lows.ndim >= 1 else 0
+        if n_queries > self.max_batch_queries:
+            self._counters["rejected_oversized"] += 1
+            return (
+                413,
+                {
+                    "error": f"batch of {n_queries} queries exceeds "
+                    f"max_batch_queries={self.max_batch_queries}",
+                    "max_batch_queries": self.max_batch_queries,
+                },
+                None,
+            )
+        if self._in_progress >= self.max_pending_requests:
+            self._counters["rejected_queue_full"] += 1
+            return (
+                503,
+                {
+                    "error": f"pending queue full "
+                    f"({self.max_pending_requests} requests in flight)",
+                    "max_pending_requests": self.max_pending_requests,
+                },
+                self._retry_header(),
+            )
+        request = QueryRequest(lows, highs, workload=workload)
+        loop = asyncio.get_running_loop()
+        self._in_progress += 1
+        start = loop.time()
+        try:
+            pending = self.batcher.answer(request)
+            if self.request_timeout is not None:
+                answer = await asyncio.wait_for(pending, self.request_timeout)
+            else:
+                answer = await pending
+        except asyncio.TimeoutError:
+            # wait_for cancelled the request's future: it is dropped at
+            # flush (or on demux) without disturbing its tick-mates.
+            self._counters["timeouts"] += 1
+            return (
+                504,
+                {
+                    "error": f"request timed out after "
+                    f"{self.request_timeout:g}s",
+                    "timeout_seconds": self.request_timeout,
+                },
+                None,
+            )
+        except (QueryError, ValidationError) as exc:
+            self._counters["bad_requests"] += 1
+            return 400, {"error": str(exc)}, None
+        finally:
+            self._in_progress -= 1
+        self._latencies.append(loop.time() - start)
+        self._counters["answered_requests"] += 1
+        self._counters["answered_queries"] += answer.n_queries
+        return (
+            200,
+            {
+                "answers": answer.answers.tolist(),
+                "plan": answer.plan,
+                "workload": answer.workload,
+                "n_queries": answer.n_queries,
+                "shard_bounds": [list(b) for b in answer.shard_bounds],
+                "shard_plans": list(answer.shard_plans),
+                "skipped_shards": answer.skipped_shards,
+                "elapsed_seconds": answer.elapsed_seconds,
+            },
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def statz(self) -> dict:
+        """The ``/statz`` payload: monotone counters + gauges."""
+        batch_stats = self.batcher.stats
+        latencies = sorted(self._latencies)
+        ticks = sorted(self.batcher.recent_tick_queries)
+        counters = dict(self._counters)
+        counters["ticks"] = int(batch_stats["ticks"])
+        counters["dropped_requests"] = int(batch_stats["dropped_requests"])
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "draining": self._draining,
+            "off_loop": self.off_loop,
+            "counters": counters,
+            "queue": {
+                "in_progress": self._in_progress,
+                "pending_requests": self.batcher.pending_requests,
+                "inflight_ticks": self.batcher.inflight_ticks,
+                "max_pending_requests": self.max_pending_requests,
+            },
+            "latency_ms": {
+                "count": len(latencies),
+                "p50": 1e3 * percentile(latencies, 50),
+                "p95": 1e3 * percentile(latencies, 95),
+                "p99": 1e3 * percentile(latencies, 99),
+                "max": 1e3 * (latencies[-1] if latencies else 0.0),
+            },
+            "tick_queries": {
+                "count": len(ticks),
+                "p50": percentile(ticks, 50),
+                "max": int(batch_stats["max_tick_queries"]),
+                "mean": batch_stats["mean_tick_queries"],
+                "last": int(batch_stats["last_tick_queries"]),
+            },
+            "loop": {
+                "heartbeat_interval_ms": 1e3 * self.monitor.interval,
+                "max_lag_ms": 1e3 * self.monitor.max_lag,
+                "beats": self.monitor.beats,
+            },
+        }

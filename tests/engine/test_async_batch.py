@@ -9,6 +9,8 @@ pinned by the config, the serving determinism lever).
 """
 
 import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -316,3 +318,176 @@ class TestCancellationAndErrors:
         sync = engine.answer(request)
         assert answer.n_queries == sync.n_queries == 0
         assert answer.plan == sync.plan
+
+
+class TestOffLoopExecutor:
+    """The ``executor`` option: kernels off the loop, same contract."""
+
+    def test_off_loop_answers_bit_identical(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(16, np.random.default_rng(10))
+
+        async def run():
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                batcher = AsyncBatchEngine(
+                    engine,
+                    max_batch_size=4,
+                    max_batch_latency=0.02,
+                    executor=pool,
+                )
+                answers = await gather_answers(batcher, requests)
+                await batcher.drain()
+                return answers, batcher.stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["ticks"] >= 4
+        assert stats["answered_requests"] == 16
+        for request, answer in zip(requests, answers):
+            assert (
+                float(
+                    np.abs(engine.answer(request).answers - answer.answers).max()
+                )
+                == 0.0
+            )
+
+    def test_loop_stays_responsive_during_off_loop_tick(self, private):
+        # The point of the executor: a heartbeat coroutine keeps beating
+        # while a (deliberately slow) kernel runs in the worker thread.
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+
+        class SlowEngine:
+            config = engine.config
+            private = engine.private
+
+            def answer(self, request):
+                time.sleep(0.15)
+                return engine.answer(request)
+
+        [request] = client_requests(1, np.random.default_rng(11))
+
+        async def run():
+            beats = 0
+            done = asyncio.Event()
+
+            async def heartbeat():
+                nonlocal beats
+                while not done.is_set():
+                    await asyncio.sleep(0.01)
+                    beats += 1
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                batcher = AsyncBatchEngine(
+                    SlowEngine(), max_batch_size=1, executor=pool
+                )
+                ticker = asyncio.ensure_future(heartbeat())
+                answer = await batcher.answer(request)
+                done.set()
+                await ticker
+            return answer, beats
+
+        answer, beats = asyncio.run(run())
+        # 0.15s of kernel at a 10ms heartbeat: an on-loop kernel would
+        # allow ~0 beats; off-loop must land well clear of that.
+        assert beats >= 5
+        assert (
+            float(np.abs(engine.answer(request).answers - answer.answers).max())
+            == 0.0
+        )
+
+    def test_drain_awaits_inflight_off_loop_ticks(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+        requests = client_requests(3, np.random.default_rng(12))
+
+        async def run():
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                batcher = AsyncBatchEngine(
+                    engine,
+                    max_batch_size=10_000,
+                    max_batch_latency=60.0,
+                    executor=pool,
+                )
+                tasks = [
+                    asyncio.ensure_future(batcher.answer(r)) for r in requests
+                ]
+                await asyncio.sleep(0)  # enqueue without flushing
+                assert batcher.pending_requests == 3
+                await batcher.drain()
+                # After drain every client already holds its answer.
+                assert all(t.done() for t in tasks)
+                assert batcher.inflight_ticks == 0
+                return [t.result() for t in tasks], batcher.stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["ticks"] == 1
+        for request, answer in zip(requests, answers):
+            assert (
+                float(
+                    np.abs(engine.answer(request).answers - answer.answers).max()
+                )
+                == 0.0
+            )
+
+    def test_off_loop_engine_failure_propagates(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingEngine:
+            config = engine.config
+            private = engine.private
+
+            def answer(self, request):
+                raise Boom("kernel exploded off-loop")
+
+        requests = client_requests(2, np.random.default_rng(13))
+
+        async def run():
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                batcher = AsyncBatchEngine(
+                    ExplodingEngine(), max_batch_size=2, executor=pool
+                )
+                return await asyncio.gather(
+                    *(batcher.answer(r) for r in requests),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, Boom) for r in results)
+
+    def test_cancellation_during_off_loop_tick_drops_one_client(self, private):
+        engine = Engine(private, EngineConfig(plan=PLAN_BROADCAST))
+
+        class SlowEngine:
+            config = engine.config
+            private = engine.private
+
+            def answer(self, request):
+                time.sleep(0.1)
+                return engine.answer(request)
+
+        requests = client_requests(2, np.random.default_rng(14))
+
+        async def run():
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                batcher = AsyncBatchEngine(
+                    SlowEngine(), max_batch_size=2, executor=pool
+                )
+                keeper = asyncio.ensure_future(batcher.answer(requests[0]))
+                quitter = asyncio.ensure_future(batcher.answer(requests[1]))
+                await asyncio.sleep(0.02)  # tick is now off-loop
+                quitter.cancel()
+                answer = await keeper
+                await batcher.drain()
+                return answer, quitter, batcher.stats
+
+        answer, quitter, stats = asyncio.run(run())
+        assert quitter.cancelled()
+        assert stats["dropped_requests"] == 1
+        assert stats["answered_requests"] == 1
+        assert (
+            float(
+                np.abs(engine.answer(requests[0]).answers - answer.answers).max()
+            )
+            == 0.0
+        )

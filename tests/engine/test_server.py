@@ -1,0 +1,514 @@
+"""EngineServer HTTP transport: exactness, flow control, edge cases.
+
+Every test boots a real :class:`EngineServer` on an ephemeral port
+inside the test's own event loop and talks to it over actual TCP via
+:class:`AsyncServingClient` (or raw sockets for the malformed-wire
+cases) — no mocked transports.  The headline guarantee mirrors the
+async-batch suite one level up the stack: answers that crossed HTTP
+are **bit-identical** to in-process ``Engine.answer`` (drift exactly
+0.0), because the JSON transport round-trips float64 through ``repr``.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import PrivateFrequencyMatrix, packed_from_intervals
+from repro.core.exceptions import ValidationError
+from repro.engine import (
+    AsyncServingClient,
+    Engine,
+    EngineConfig,
+    EngineServer,
+    QueryRequest,
+    ServingError,
+)
+from repro.methods._grid import axis_intervals
+
+SHAPE = (128, 128)
+
+
+def grid_private(m=32):
+    rng = np.random.default_rng(0)
+    intervals = [axis_intervals(s, m) for s in SHAPE]
+    noisy = rng.poisson(40.0, size=m * m).astype(float)
+    noisy += rng.laplace(0.0, 2.0, size=m * m)
+    packed = packed_from_intervals(intervals, noisy, SHAPE)
+    return PrivateFrequencyMatrix.from_packed(packed, method="grid")
+
+
+def client_requests(n_clients, rng, q_low=1, q_high=6):
+    requests = []
+    for i in range(n_clients):
+        q = int(rng.integers(q_low, q_high))
+        a = rng.integers(0, SHAPE[0], size=(q, 2))
+        b = rng.integers(0, SHAPE[0], size=(q, 2))
+        requests.append(
+            QueryRequest(
+                np.minimum(a, b).astype(np.int64),
+                np.maximum(a, b).astype(np.int64),
+                workload=f"client-{i}",
+            )
+        )
+    return requests
+
+
+class SlowEngine:
+    """Wraps a real engine, holding each tick for ``delay`` seconds."""
+
+    def __init__(self, engine, delay=0.3):
+        self._engine = engine
+        self.delay = delay
+        self.config = engine.config
+        self.private = engine.private
+
+    def answer(self, request):
+        time.sleep(self.delay)
+        return self._engine.answer(request)
+
+
+@pytest.fixture(scope="module")
+def private():
+    return grid_private()
+
+
+@pytest.fixture(scope="module")
+def engine(private):
+    return Engine(private, EngineConfig(plan="broadcast"))
+
+
+def serve(engine, **kwargs):
+    kwargs.setdefault("port", 0)
+    return EngineServer(engine, **kwargs)
+
+
+async def raw_exchange(port, payload: bytes, host="127.0.0.1"):
+    """Write raw bytes, read one full HTTP response, close."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    status_line = await asyncio.wait_for(reader.readline(), 5.0)
+    headers = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), 5.0)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    raw = await reader.readexactly(length) if length else b""
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    status = int(status_line.split()[1])
+    body = json.loads(raw) if raw else {}
+    return status, headers, body
+
+
+def post_bytes(path, body: bytes) -> bytes:
+    return (
+        f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+class TestExactness:
+    @pytest.mark.parametrize("off_loop", [True, False])
+    def test_http_answers_bit_identical(self, engine, off_loop):
+        requests = client_requests(8, np.random.default_rng(1))
+
+        async def run():
+            async with serve(engine, off_loop=off_loop) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    return [
+                        await client.query_request(r) for r in requests
+                    ]
+
+        answers = asyncio.run(run())
+        for request, answer in zip(requests, answers):
+            serial = engine.answer(request)
+            diff = float(np.abs(serial.answers - answer.answers).max())
+            assert diff == 0.0, f"off_loop={off_loop}: HTTP drifted {diff}"
+            assert answer.plan == serial.plan
+            assert answer.workload == request.workload
+
+    def test_concurrent_clients_share_ticks_exactly(self, engine):
+        requests = client_requests(12, np.random.default_rng(2))
+
+        async def run():
+            async with serve(
+                engine, max_batch_size=12, max_batch_latency=0.05
+            ) as server:
+
+                async def one(request):
+                    async with AsyncServingClient(port=server.port) as c:
+                        return await c.query_request(request)
+
+                answers = await asyncio.gather(*(one(r) for r in requests))
+                stats = server.statz()
+            return answers, stats
+
+        answers, stats = asyncio.run(run())
+        assert stats["counters"]["ticks"] < len(requests)  # coalesced
+        for request, answer in zip(requests, answers):
+            assert (
+                float(
+                    np.abs(engine.answer(request).answers - answer.answers).max()
+                )
+                == 0.0
+            )
+
+    def test_empty_batch_round_trips(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    return await client.query([], [])
+
+        answer = asyncio.run(run())
+        assert answer.n_queries == 0
+        assert answer.answers.shape == (0,)
+
+
+class TestBadRequests:
+    def test_malformed_json_is_400_with_error_body(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                return await raw_exchange(
+                    server.port, post_bytes("/v1/query", b"{not json")
+                )
+
+        status, _, body = asyncio.run(run())
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                return await raw_exchange(
+                    server.port, post_bytes("/v1/query", b"[1, 2, 3]")
+                )
+
+        status, _, body = asyncio.run(run())
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    def test_ragged_arrays_are_400(self, engine):
+        payload = json.dumps(
+            {"lows": [[0, 0], [1]], "highs": [[2, 2], [3, 3]]}
+        ).encode()
+
+        async def run():
+            async with serve(engine) as server:
+                return await raw_exchange(
+                    server.port, post_bytes("/v1/query", payload)
+                )
+
+        status, _, body = asyncio.run(run())
+        assert status == 400
+        assert "lows/highs" in body["error"]
+
+    def test_out_of_range_query_is_400(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    with pytest.raises(ServingError) as excinfo:
+                        await client.query([[0, 0]], [[999, 999]])
+            return excinfo.value
+
+        error = asyncio.run(run())
+        assert error.status == 400
+        assert "outside matrix shape" in str(error)
+
+    def test_malformed_request_line_is_400(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                return await raw_exchange(server.port, b"GARBAGE\r\n\r\n")
+
+        status, headers, _ = asyncio.run(run())
+        assert status == 400
+        assert headers.get("connection") == "close"
+
+    def test_unknown_route_is_404_and_wrong_method_is_405(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    missing = await client.request("GET", "/nope")
+                    wrong = await client.request("GET", "/v1/query")
+            return missing, wrong
+
+        (missing_status, _, _), (wrong_status, _, wrong_body) = asyncio.run(
+            run()
+        )
+        assert missing_status == 404
+        assert wrong_status == 405
+        assert "POST" in wrong_body["error"]
+
+
+class TestFlowControl:
+    def test_oversized_batch_is_413(self, engine):
+        async def run():
+            async with serve(engine, max_batch_queries=4) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    lows = [[0, 0]] * 5
+                    highs = [[10, 10]] * 5
+                    with pytest.raises(ServingError) as excinfo:
+                        await client.query(lows, highs)
+                    stats = await client.statz()
+            return excinfo.value, stats
+
+        error, stats = asyncio.run(run())
+        assert error.status == 413
+        assert error.payload["max_batch_queries"] == 4
+        assert stats["counters"]["rejected_oversized"] == 1
+
+    def test_oversized_body_is_413(self, engine):
+        async def run():
+            async with serve(engine, max_body_bytes=64) as server:
+                return await raw_exchange(
+                    server.port, post_bytes("/v1/query", b"x" * 65)
+                )
+
+        status, _, body = asyncio.run(run())
+        assert status == 413
+        assert body["max_body_bytes"] == 64
+
+    def test_queue_full_is_503_with_retry_after(self, engine):
+        slow = SlowEngine(engine, delay=0.3)
+
+        async def run():
+            async with serve(
+                slow,
+                max_pending_requests=1,
+                max_batch_size=1,
+                retry_after=2.5,
+            ) as server:
+                async with AsyncServingClient(port=server.port) as first:
+                    request = client_requests(1, np.random.default_rng(3))[0]
+                    task = asyncio.ensure_future(first.query_request(request))
+                    while server._in_progress < 1:
+                        await asyncio.sleep(0.005)
+                    async with AsyncServingClient(port=server.port) as second:
+                        with pytest.raises(ServingError) as excinfo:
+                            await second.query([[0, 0]], [[1, 1]])
+                    answer = await task
+                stats = server.statz()
+            return excinfo.value, answer, request, stats
+
+        error, answer, request, stats = asyncio.run(run())
+        assert error.status == 503
+        assert error.retry_after == 2.5
+        assert stats["counters"]["rejected_queue_full"] == 1
+        # The request that held the queue slot still answered exactly.
+        assert (
+            float(np.abs(engine.answer(request).answers - answer.answers).max())
+            == 0.0
+        )
+
+    def test_slow_tick_times_out_as_504(self, engine):
+        slow = SlowEngine(engine, delay=0.5)
+
+        async def run():
+            async with serve(
+                slow, request_timeout=0.05, max_batch_size=1
+            ) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    with pytest.raises(ServingError) as excinfo:
+                        await client.query([[0, 0]], [[1, 1]])
+                    stats = await client.statz()
+            return excinfo.value, stats
+
+        error, stats = asyncio.run(run())
+        assert error.status == 504
+        assert error.payload["timeout_seconds"] == 0.05
+        assert stats["counters"]["timeouts"] == 1
+
+    def test_client_disconnect_mid_tick_leaves_tick_unharmed(self, engine):
+        slow = SlowEngine(engine, delay=0.2)
+        survivor, doomed = client_requests(2, np.random.default_rng(4))
+
+        async def run():
+            async with serve(
+                slow, max_batch_size=2, max_batch_latency=30.0
+            ) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    # The doomed client joins the tick, then vanishes
+                    # before its answer can be written back.
+                    body = json.dumps(
+                        {
+                            "lows": np.asarray(doomed.lows).tolist(),
+                            "highs": np.asarray(doomed.highs).tolist(),
+                        }
+                    ).encode()
+                    _, rude_writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    rude_writer.write(post_bytes("/v1/query", body))
+                    await rude_writer.drain()
+                    task = asyncio.ensure_future(
+                        client.query_request(survivor)
+                    )
+                    await asyncio.sleep(0.02)
+                    rude_writer.close()
+                    answer = await task
+            return answer
+
+        answer = asyncio.run(run())
+        assert (
+            float(
+                np.abs(engine.answer(survivor).answers - answer.answers).max()
+            )
+            == 0.0
+        )
+
+
+class TestStatzAndHealth:
+    def test_healthz_ok_while_serving(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    return await client.healthz()
+
+        assert asyncio.run(run())["status"] == "ok"
+
+    def test_statz_counters_monotone_under_concurrent_load(self, engine):
+        requests = client_requests(10, np.random.default_rng(5))
+        monotone = [
+            "connections_total",
+            "requests_total",
+            "answered_requests",
+            "answered_queries",
+            "ticks",
+        ]
+
+        async def run():
+            async with serve(
+                engine, max_batch_size=4, max_batch_latency=0.02
+            ) as server:
+                async with AsyncServingClient(port=server.port) as probe:
+                    snapshots = [await probe.statz()]
+
+                    async def one(request):
+                        async with AsyncServingClient(port=server.port) as c:
+                            return await c.query_request(request)
+
+                    for wave in (requests[:5], requests[5:]):
+                        await asyncio.gather(*(one(r) for r in wave))
+                        snapshots.append(await probe.statz())
+            return snapshots
+
+        snapshots = asyncio.run(run())
+        for before, after in zip(snapshots, snapshots[1:]):
+            for key in monotone:
+                assert after["counters"][key] >= before["counters"][key]
+        final = snapshots[-1]["counters"]
+        assert final["answered_requests"] == len(requests)
+        assert final["answered_queries"] == sum(
+            r.n_queries for r in requests
+        )
+        assert final["dropped_requests"] == 0
+        assert snapshots[-1]["latency_ms"]["count"] == len(requests)
+        assert snapshots[-1]["latency_ms"]["p50"] <= snapshots[-1][
+            "latency_ms"
+        ]["max"]
+
+    def test_statz_reports_off_loop_and_loop_lag(self, engine):
+        async def run():
+            async with serve(engine, off_loop=True) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    await client.query([[0, 0]], [[5, 5]])
+                    await asyncio.sleep(0.02)  # a few heartbeats
+                    return await client.statz()
+
+        stats = asyncio.run(run())
+        assert stats["off_loop"] is True
+        assert stats["loop"]["beats"] > 0
+        assert stats["loop"]["max_lag_ms"] >= 0.0
+        assert stats["queue"]["max_pending_requests"] >= 1
+
+
+class TestLifecycle:
+    def test_graceful_drain_finishes_inflight_then_refuses(self, engine):
+        slow = SlowEngine(engine, delay=0.2)
+        request = client_requests(1, np.random.default_rng(6))[0]
+
+        async def run():
+            server = serve(slow, max_batch_size=1)
+            await server.start()
+            client = AsyncServingClient(port=server.port)
+            task = asyncio.ensure_future(client.query_request(request))
+            while server._in_progress < 1:
+                await asyncio.sleep(0.005)
+            shutdown = asyncio.ensure_future(server.shutdown())
+            answer = await task  # in-flight tick completes during drain
+            await shutdown
+            await client.close()
+            # The port no longer accepts connections at all.
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", server.port)
+            return answer
+
+        answer = asyncio.run(run())
+        assert (
+            float(np.abs(engine.answer(request).answers - answer.answers).max())
+            == 0.0
+        )
+
+    def test_draining_server_refuses_queries_and_health(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    server._draining = True  # simulate mid-drain window
+                    health_status, health_headers, _ = await client.request(
+                        "GET", "/healthz"
+                    )
+                    query_status, query_headers, _ = await client.request(
+                        "POST",
+                        "/v1/query",
+                        json.dumps(
+                            {"lows": [[0, 0]], "highs": [[1, 1]]}
+                        ).encode(),
+                    )
+                    server._draining = False
+            return (
+                health_status,
+                health_headers,
+                query_status,
+                query_headers,
+            )
+
+        health_status, health_headers, query_status, query_headers = (
+            asyncio.run(run())
+        )
+        assert health_status == 503
+        assert query_status == 503
+        assert "retry-after" in health_headers
+        assert "retry-after" in query_headers
+
+    def test_invalid_limits_rejected(self, engine):
+        with pytest.raises(ValidationError, match="max_pending_requests"):
+            EngineServer(engine, max_pending_requests=0)
+        with pytest.raises(ValidationError, match="max_batch_queries"):
+            EngineServer(engine, max_batch_queries=0)
+        with pytest.raises(ValidationError, match="request_timeout"):
+            EngineServer(engine, request_timeout=0.0)
+
+    def test_keep_alive_serves_many_requests_per_connection(self, engine):
+        async def run():
+            async with serve(engine) as server:
+                async with AsyncServingClient(port=server.port) as client:
+                    for _ in range(5):
+                        await client.query([[0, 0]], [[5, 5]])
+                    stats = await client.statz()
+            return stats
+
+        stats = asyncio.run(run())
+        # All five queries (plus the statz) rode one TCP connection.
+        assert stats["counters"]["connections_total"] == 1
+        assert stats["counters"]["answered_requests"] == 5

@@ -39,6 +39,27 @@ class TestParser:
         assert args.queries_per_client == 4
         assert args.engine_config is None
 
+    def test_serve_network_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "8080", "--no-off-loop"]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 8080
+        assert args.off_loop is False
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.port is None  # no port: legacy smoke demo
+        assert defaults.off_loop is True
+        assert defaults.max_pending == 1024
+        assert defaults.request_timeout == 30.0
+
+    def test_serve_bench_substrate_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--bench-substrate", "16", "--bench-shape", "64"]
+        )
+        assert args.bench_substrate == 16
+        assert args.bench_shape == 64
+        assert build_parser().parse_args(["serve"]).bench_substrate is None
+
     def test_engine_config_flag_everywhere(self):
         for command in ("sanitize", "figure", "compare", "serve"):
             argv = [command, "table3"] if command == "figure" else [command]
@@ -148,3 +169,53 @@ class TestCommands:
         assert "served 8 clients" in out
         assert "1 tick(s)" in out
         assert "max |batched - serial| = 0" in out
+
+    def test_serve_port_boots_live_http_server(self):
+        # The real network path: `repro serve --port 0` in a subprocess,
+        # queried over actual TCP, then drained via SIGINT.
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.engine import ServingClient
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--bench-substrate", "8", "--bench-shape", "32",
+                "--engine-config", "plan=broadcast",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            for line in process.stdout:
+                match = re.search(r"serving on http://[^:]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port, "server never reported its port"
+            with ServingClient(port=port, timeout=10.0) as client:
+                assert client.healthz()["status"] == "ok"
+                answer = client.query([[0, 0], [3, 3]], [[9, 9], [30, 30]])
+                assert answer.n_queries == 2
+                assert answer.plan == "broadcast"
+                stats = client.statz()
+                assert stats["counters"]["answered_requests"] == 1
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        assert process.returncode == 0

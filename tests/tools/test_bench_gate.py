@@ -44,9 +44,16 @@ ASYNC_BASELINE = {
     "batched_ticks": 1,
 }
 
+SERVING_BASELINE = {
+    "responsiveness_ratio": 40.0,
+    "serving_max_abs_diff": 0.0,
+    "queries_per_second": 5000.0,
+    "dropped_requests": 0,
+}
+
 
 def write_artifacts(directory, query=None, parallel=None, sharded=None,
-                    async_batching=None):
+                    async_batching=None, serving=None):
     directory.mkdir(parents=True, exist_ok=True)
     if query is not None:
         (directory / "BENCH_query_engine.json").write_text(json.dumps(query))
@@ -60,6 +67,8 @@ def write_artifacts(directory, query=None, parallel=None, sharded=None,
         (directory / "BENCH_async_batching.json").write_text(
             json.dumps(async_batching)
         )
+    if serving is not None:
+        (directory / "BENCH_serving.json").write_text(json.dumps(serving))
 
 
 def run_gate(baseline, fresh, *extra):
@@ -270,6 +279,109 @@ class TestAsyncBatchingArtifact:
         )
         result = run_gate(baseline, fresh)
         assert result.returncode == 0, result.stdout
+
+
+class TestServingArtifact:
+    """BENCH_serving.json: absolute responsiveness floor + exactness."""
+
+    def test_identical_serving_artifacts_pass(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+        assert "BENCH_serving.json:responsiveness_ratio" in result.stdout
+
+    def test_ratio_below_absolute_floor_fails(self, dirs):
+        # The floor is absolute, not baseline-relative: even if the
+        # baseline ALSO sat below 5x, a fresh 3x must fail.
+        baseline, fresh = dirs
+        low = dict(SERVING_BASELINE, responsiveness_ratio=3.0)
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE, serving=low
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE, serving=low
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "FAIL  BENCH_serving.json:responsiveness_ratio" \
+            in result.stdout
+
+    def test_floor_enforced_without_baseline(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(baseline, QUERY_BASELINE, PARALLEL_BASELINE)
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=dict(SERVING_BASELINE, responsiveness_ratio=4.9),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "responsiveness_ratio" in result.stdout
+
+    def test_large_ratio_regression_passes_while_above_floor(self, dirs):
+        # Unlike the relative speedup windows, the ratio may fall from
+        # 40x to 6x without failing: the guarantee is >=5x, period.
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=dict(SERVING_BASELINE, responsiveness_ratio=6.0),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout
+
+    def test_serving_drift_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=dict(SERVING_BASELINE, serving_max_abs_diff=1e-7),
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "serving_max_abs_diff" in result.stdout
+
+    def test_ratio_disappearing_fails(self, dirs):
+        baseline, fresh = dirs
+        gone = {
+            k: v for k, v in SERVING_BASELINE.items()
+            if k != "responsiveness_ratio"
+        }
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        write_artifacts(
+            fresh, QUERY_BASELINE, PARALLEL_BASELINE, serving=gone
+        )
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "responsiveness_ratio: tracked series disappeared" \
+            in result.stdout
+
+    def test_missing_fresh_serving_artifact_fails(self, dirs):
+        baseline, fresh = dirs
+        write_artifacts(
+            baseline, QUERY_BASELINE, PARALLEL_BASELINE,
+            serving=SERVING_BASELINE,
+        )
+        write_artifacts(fresh, QUERY_BASELINE, PARALLEL_BASELINE)
+        result = run_gate(baseline, fresh)
+        assert result.returncode == 1
+        assert "BENCH_serving.json: fresh artifact missing" in result.stdout
 
 
 class TestMissingData:

@@ -1,0 +1,93 @@
+"""Tests for tools/check_docs.py — the intra-repo doc link gate.
+
+Run as a subprocess, exactly as the CI ``docs-check`` job invokes it:
+exit 0 when every relative Markdown link resolves, 1 with a
+``file:line`` listing otherwise.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parents[2] / "tools" / "check_docs.py"
+REPO_ROOT = CHECKER.parents[1]
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *map(str, args)],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestRepoDocs:
+    def test_the_actual_repo_docs_pass(self):
+        result = run_checker("--root", REPO_ROOT)
+        assert result.returncode == 0, result.stdout
+
+    def test_architecture_and_serving_are_linked_from_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/SERVING.md" in readme
+
+
+class TestLinkChecking:
+    def test_broken_relative_link_fails_with_location(self, tmp_path):
+        (tmp_path / "index.md").write_text(
+            "# Title\n\nSee [the guide](guide/missing.md) for more.\n"
+        )
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 1
+        assert "index.md:3" in result.stdout
+        assert "guide/missing.md" in result.stdout
+
+    def test_resolving_relative_links_pass(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "other.md").write_text("# Other\n\nBack to [top](../a.md)\n")
+        (tmp_path / "a.md").write_text("Go [deeper](docs/other.md).\n")
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 0, result.stdout
+
+    def test_external_and_anchor_links_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[site](https://example.com) [mail](mailto:x@y.z) "
+            "[anchor](#section)\n"
+        )
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 0, result.stdout
+
+    def test_section_anchor_on_existing_file_passes(self, tmp_path):
+        (tmp_path / "b.md").write_text("# B\n## Deep\n")
+        (tmp_path / "a.md").write_text("[jump](b.md#deep)\n")
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 0, result.stdout
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "# A\n\n```markdown\n[example](not/a/real/file.md)\n```\n"
+        )
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 0, result.stdout
+
+    def test_reference_style_links_checked(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "See [the spec][spec].\n\n[spec]: missing-spec.md\n"
+        )
+        result = run_checker("--root", tmp_path)
+        assert result.returncode == 1
+        assert "missing-spec.md" in result.stdout
+
+    def test_explicit_file_list_mode(self, tmp_path):
+        good = tmp_path / "good.md"
+        good.write_text("no links here\n")
+        bad = tmp_path / "bad.md"
+        bad.write_text("[x](gone.md)\n")
+        assert run_checker(good).returncode == 0
+        assert run_checker(good, bad).returncode == 1
+
+    def test_missing_input_file_fails(self, tmp_path):
+        result = run_checker(tmp_path / "absent.md")
+        assert result.returncode == 1
+        assert "no such file" in result.stdout

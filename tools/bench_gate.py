@@ -19,6 +19,7 @@ Usage (what the CI ``bench-gate`` job runs; also works locally)::
         benchmarks/test_micro_parallel_trials.py \
         benchmarks/test_micro_sharded.py \
         benchmarks/test_micro_async_batching.py -q
+    python tools/loadtest.py --ci --no-enforce
     python tools/bench_gate.py --baseline /tmp/bench-baseline --fresh .
 
 Rules
@@ -36,6 +37,15 @@ Rules
   one-by-one through the async serving endpoint; single-threaded, so
   never core-skipped) and the ``async_max_abs_diff`` exactness ceiling
   (the benchmark itself asserts it is exactly 0).
+* ``BENCH_serving.json`` — written by ``tools/loadtest.py`` against a
+  live HTTP server.  ``responsiveness_ratio`` (on-loop vs off-loop max
+  event-loop lag under heavy ticks) is held to an *absolute* floor of
+  5.0 rather than a baseline-relative window: the off-loop guarantee
+  is a product property, not a machine-relative one, and it holds even
+  on one core because NumPy releases the GIL inside the kernel.
+  ``serving_max_abs_diff`` (HTTP answers vs in-process
+  ``Engine.answer``) is an exactness ceiling like the others — the
+  JSON transport is ``repr``-exact, so the loadtest records exactly 0.
 * A key present in the baseline but missing from a fresh artifact (or a
   missing fresh artifact) fails the gate — silently dropping a tracked
   series is itself a regression.  This applies to exactness series as
@@ -63,6 +73,9 @@ SPEEDUP_KEYS = {
     "BENCH_parallel_trials.json": ["speedup"],
     "BENCH_sharded.json": ["speedup"],
     "BENCH_async_batching.json": ["speedup"],
+    # Gated by FLOOR_KEYS / ABS_DIFF_KEYS only; listed here so a
+    # missing fresh artifact still fails the gate.
+    "BENCH_serving.json": [],
 }
 
 #: Exactness fields (absolute ceilings, not baseline-relative).
@@ -74,6 +87,15 @@ ABS_DIFF_KEYS = {
     ],
     "BENCH_sharded.json": ["sharded_max_abs_diff"],
     "BENCH_async_batching.json": ["async_max_abs_diff"],
+    "BENCH_serving.json": ["serving_max_abs_diff"],
+}
+
+#: Absolute minimums (baseline-independent, like the exactness
+#: ceilings but pointing the other way): a fresh artifact must meet
+#: these floors regardless of history.  Used for ratios that encode a
+#: hard product guarantee rather than a machine-relative measurement.
+FLOOR_KEYS = {
+    "BENCH_serving.json": {"responsiveness_ratio": 5.0},
 }
 
 #: An artifact with this key set to true is excluded from speedup
@@ -167,6 +189,21 @@ def gate(
             print(
                 f"{'ok  ' if ok else 'FAIL'}  {name}:{key}: "
                 f"{diff:.3g} (ceiling {max_abs_diff:g})"
+            )
+            failures += 0 if ok else 1
+        for key, floor_val in FLOOR_KEYS.get(name, {}).items():
+            if key not in fresh:
+                # Same disappearance rule as the other tracked series.
+                if base not in (None, CORRUPT) and key in base:
+                    print(f"FAIL  {name}:{key}: tracked series disappeared")
+                    failures += 1
+                continue
+            value = float(fresh[key])
+            ok = value >= floor_val
+            compared += 1
+            print(
+                f"{'ok  ' if ok else 'FAIL'}  {name}:{key}: "
+                f"{value:.2f} (absolute floor {floor_val:g})"
             )
             failures += 0 if ok else 1
     if compared == 0 and failures == 0:

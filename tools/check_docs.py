@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Intra-repo link checker for the project's Markdown docs.
+
+Walks every tracked ``*.md`` file (repo root + ``docs/``, recursively
+excluding build/VCS noise) and verifies that each relative Markdown
+link — ``[text](target)`` and reference-style ``[label]: target`` —
+points at a file or directory that actually exists, resolved against
+the file containing the link.  External links (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped: this gate is about the repo's own files moving or being
+renamed, which a network checker would miss and a human reviewer
+usually does.
+
+Exit code 0 when every link resolves, 1 with a ``file:line`` listing
+of each broken link otherwise — the CI ``docs-check`` job runs exactly
+this.  Stdlib only.
+
+Usage::
+
+    python tools/check_docs.py            # check the whole repo
+    python tools/check_docs.py README.md docs/SERVING.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directories never scanned for Markdown files.
+EXCLUDED_DIRS = {
+    ".git",
+    ".github",
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+#: Link targets that are not intra-repo file references.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: ``[text](target)`` — non-greedy text, target up to the closing paren
+#: (Markdown titles after a space are stripped separately).
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+
+#: Reference-style definition: ``[label]: target``.
+REFERENCE_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+
+#: Fenced code block delimiters — links inside code are examples, not
+#: navigation, and must not be checked.
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in EXCLUDED_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def iter_links(text: str):
+    """Yield ``(line_number, target)`` for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        reference = REFERENCE_LINK.match(line)
+        if reference:
+            yield lineno, reference.group(1)
+            continue
+        for match in INLINE_LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def is_checkable(target: str) -> bool:
+    if target.startswith(EXTERNAL_PREFIXES):
+        return False
+    if target.startswith("#"):  # in-page anchor
+        return False
+    if target.startswith("<") or "://" in target:
+        return False
+    return True
+
+
+def check_file(path: Path) -> list:
+    """``(path, lineno, target)`` tuples for every broken link in one file."""
+    broken = []
+    for lineno, raw_target in iter_links(path.read_text(encoding="utf-8")):
+        if not is_checkable(raw_target):
+            continue
+        target = raw_target.partition("#")[0]  # strip section anchors
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append((path, lineno, raw_target))
+    return broken
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="specific Markdown files to check (default: whole repo)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="repo root to scan when no files are given",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or list(iter_markdown_files(args.root))
+    broken = []
+    checked = 0
+    for path in files:
+        if not path.is_file():
+            print(f"FAIL  {path}: no such file")
+            broken.append((path, 0, ""))
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+
+    for path, lineno, target in broken:
+        if target:
+            try:
+                shown = path.relative_to(args.root)
+            except ValueError:
+                shown = path
+            print(f"FAIL  {shown}:{lineno}: broken link -> {target}")
+    if broken:
+        print(f"docs check: {len(broken)} broken link(s) in {checked} file(s)")
+        return 1
+    print(f"docs check: all intra-repo links resolve ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
