@@ -1,4 +1,4 @@
-"""Microbenchmark: sharded partition-axis evaluation.
+"""Microbenchmark: sharded evaluation on the resident worker pool.
 
 Two claims, measured on the same fixed substrate style as the other
 micro benchmarks (scale presets size the figure reproductions, not
@@ -8,17 +8,28 @@ these):
   shards' candidate bounds are empty; those shards must skip the gather
   (observable skip counter) and the merged answers must still match the
   one-node broadcast kernel within 1e-9.
-* **Fan-out speedup** — computing the per-shard partials across a
-  4-worker process pool must beat serial shard evaluation by a hard
-  floor, but only on a machine with at least 4 usable cores.  On
-  narrower machines the artifact carries a ``skipped_low_cores`` marker
-  and *no* speedup record (same policy as the parallel-trials bench:
-  four workers sharing one core measure the machine, not the code, and
-  a sub-1x record would only trip the regression gate).
+* **Resident amortized speedup** — the headline.  A
+  :class:`~repro.engine.ShardWorkerPool` is spawned **once** (workers
+  attach shared-memory shards; the spawn cost is recorded separately)
+  and then answers ``R`` rounds of batches; the amortized per-round
+  time must beat serial shard evaluation by a hard floor, but only on
+  a machine with at least ``N_SHARDS`` usable cores.  On narrower
+  machines the artifact carries a ``skipped_low_cores`` marker and *no*
+  speedup record (same policy as the parallel-trials bench: four
+  workers sharing one core measure the machine, not the code, and a
+  sub-1x record would only trip the regression gate).  This replaces
+  the old per-call process-pool measurement, whose spawn + shard
+  pickling costs were paid on *every* batch and swamped the kernels.
+
+Pool answers must be **bit-identical** to serial sharded evaluation
+(the workers read the very same shard arrays through shm and the merge
+order is fixed), so ``resident_max_abs_diff`` is asserted at exactly
+0.0 — not a tolerance — on every machine.
 
 Results are written to ``BENCH_sharded.json`` at the repository root;
 ``tools/bench_gate.py`` tracks ``speedup`` (relative, skip-aware) and
-``sharded_max_abs_diff`` (absolute ceiling) across commits.
+the ``sharded_max_abs_diff`` / ``resident_max_abs_diff`` absolute
+ceilings across commits.
 """
 
 from __future__ import annotations
@@ -31,7 +42,6 @@ import numpy as np
 
 from repro.core import PLAN_BROADCAST, PrivateFrequencyMatrix, packed_from_intervals
 from repro.engine import Engine, EngineConfig
-from repro.experiments.parallel import ProcessPoolTrialExecutor
 from repro.methods._grid import axis_intervals
 
 from .conftest import usable_cores
@@ -42,16 +52,16 @@ SHAPE = (512, 512)
 GRID_M = 96  # 96 x 96 = 9216 partitions
 N_QUERIES = 8_000
 N_SHARDS = 4
-N_JOBS = 4
+ROUNDS = 6  # resident rounds the one-time spawn is amortized over
 SKIP_SHARDS = 8
 SKIP_QUERIES = 1_000
 
 #: The headline target, recorded in the artifact.
 SPEEDUP_TARGET = 2.0
-#: The hard floor asserted when >= 4 cores are usable.  Deliberately
-#: conservative: the per-shard work is NumPy broadcasting, which is
-#: partly memory-bandwidth-bound, so SMT "cores" help less than they do
-#: for the Python-heavy sanitizers.
+#: The hard floor asserted when >= N_SHARDS cores are usable.
+#: Deliberately conservative: the per-shard work is NumPy broadcasting,
+#: which is partly memory-bandwidth-bound, so SMT "cores" help less
+#: than they do for the Python-heavy sanitizers.
 SPEEDUP_FLOOR = 1.3
 
 
@@ -66,7 +76,20 @@ def _substrate() -> PrivateFrequencyMatrix:
     return PrivateFrequencyMatrix.from_packed(packed, method="bench")
 
 
-def test_sharded_skip_exactness_and_speedup():
+def _round_batches(rng: np.random.Generator):
+    """``ROUNDS`` distinct mixed-size query batches (fixed seeds)."""
+    batches = []
+    for _ in range(ROUNDS):
+        a = rng.integers(0, SHAPE[0], size=(N_QUERIES, 2))
+        b = rng.integers(0, SHAPE[0], size=(N_QUERIES, 2))
+        batches.append(
+            (np.minimum(a, b).astype(np.int64),
+             np.maximum(a, b).astype(np.int64))
+        )
+    return batches
+
+
+def test_sharded_skip_exactness_and_resident_speedup():
     private = _substrate()
     packed = private.packed
     rng = np.random.default_rng(1)
@@ -92,53 +115,78 @@ def test_sharded_skip_exactness_and_speedup():
     skip_rate = skip_result.skip_rate
     skip_diff = float(np.abs(skip_result.answers - skip_broadcast).max())
 
-    # --- Speedup claim: whole-batch fan-out over mixed queries -------
-    a = rng.integers(0, SHAPE[0], size=(N_QUERIES, 2))
-    b = rng.integers(0, SHAPE[0], size=(N_QUERIES, 2))
-    lows = np.minimum(a, b).astype(np.int64)
-    highs = np.maximum(a, b).astype(np.int64)
-
-    pool = ProcessPoolTrialExecutor(N_JOBS)
-    serial_engine = Engine(private, EngineConfig(n_shards=N_SHARDS))
-    pooled_engine = Engine(
-        private, EngineConfig(n_shards=N_SHARDS, shard_executor=pool)
+    # --- Headline: resident pool amortized over ROUNDS ---------------
+    batches = _round_batches(rng)
+    serial_engine = Engine(
+        private, EngineConfig(n_shards=N_SHARDS, shard_executor="serial")
     )
-    # Warm both paths (per-shard index builds, worker pool import cost
-    # is per-call and stays in the measurement — that is the real cost a
-    # caller pays — but the index caches should not be).
-    serial_warm = serial_engine.answer_sharded(lows, highs)
+    resident_engine = Engine(
+        private, EngineConfig(n_shards=N_SHARDS, shard_executor="resident")
+    )
+    # Warm the serial path's per-shard index caches; the resident pool
+    # shares them (the shm layout is copied out of the same cached
+    # split), so neither side's measurement pays the index build.
+    serial_engine.answer_sharded(*batches[0])
 
     start = time.perf_counter()
-    serial = serial_engine.answer_sharded(lows, highs)
+    serial_rounds = [
+        serial_engine.answer_sharded(lows, highs) for lows, highs in batches
+    ]
     serial_seconds = time.perf_counter() - start
 
+    # Spawn once — workers attach the shm segment and stay resident.
+    # The spawn is *outside* the round timing (that is the amortized
+    # claim) but recorded in the artifact so its cost stays visible.
     start = time.perf_counter()
-    pooled = pooled_engine.answer_sharded(lows, highs)
-    parallel_seconds = time.perf_counter() - start
+    resident_engine.warm_shard_pool()
+    spawn_seconds = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        resident_rounds = [
+            resident_engine.answer_sharded(lows, highs)
+            for lows, highs in batches
+        ]
+        resident_seconds = time.perf_counter() - start
+        pool_stats = resident_engine.pool_stats()
+    finally:
+        resident_engine.close()
 
-    broadcast = packed.answer_many_arrays(lows, highs, plan=PLAN_BROADCAST)
-    merged_diff = float(np.abs(serial.answers - broadcast).max())
-    pooled_diff = float(np.abs(pooled.answers - serial.answers).max())
-    sharded_max_abs_diff = max(skip_diff, merged_diff, pooled_diff)
+    broadcast = packed.answer_many_arrays(
+        *batches[0], plan=PLAN_BROADCAST
+    )
+    merged_diff = float(
+        np.abs(serial_rounds[0].answers - broadcast).max()
+    )
+    sharded_max_abs_diff = max(skip_diff, merged_diff)
+    # Pool vs serial is bit-identity, not a tolerance: same shard
+    # arrays (via shm), same per-shard kernels, same fixed merge order.
+    resident_max_abs_diff = max(
+        float(np.abs(r.answers - s.answers).max()) if r.answers.size else 0.0
+        for r, s in zip(resident_rounds, serial_rounds)
+    )
 
-    speedup = serial_seconds / parallel_seconds
+    speedup = serial_seconds / resident_seconds
     cores = usable_cores()
-    threshold_enforced = cores >= N_JOBS
+    threshold_enforced = cores >= N_SHARDS
 
     payload = {
         "shape": list(SHAPE),
         "n_partitions": packed.n_partitions,
         "n_queries": N_QUERIES,
         "n_shards": N_SHARDS,
-        "n_jobs": N_JOBS,
+        "rounds": ROUNDS,
         "usable_cores": cores,
         "skip_n_shards": SKIP_SHARDS,
         "skip_n_queries": SKIP_QUERIES,
         "skipped_shards": skip_result.skipped_shards,
         "skip_rate": skip_rate,
         "sharded_max_abs_diff": sharded_max_abs_diff,
+        "resident_max_abs_diff": resident_max_abs_diff,
         "serial_seconds": serial_seconds,
-        "parallel_seconds": parallel_seconds,
+        "resident_seconds": resident_seconds,
+        "spawn_seconds": spawn_seconds,
+        "worker_restarts": pool_stats["restarts"],
+        "segment_bytes": pool_stats["segment_bytes"],
         "speedup_target": SPEEDUP_TARGET,
         "speedup_floor": SPEEDUP_FLOOR,
         "floor_enforced": threshold_enforced,
@@ -153,9 +201,11 @@ def test_sharded_skip_exactness_and_speedup():
     print(
         f"\nskip rate {skip_rate:.2f} ({skip_result.skipped_shards}/"
         f"{SKIP_SHARDS} shards), max |sharded - broadcast| "
-        f"{sharded_max_abs_diff:.3g}; serial {serial_seconds:.2f}s, "
-        f"pool({N_JOBS}) {parallel_seconds:.2f}s -> {speedup:.2f}x on "
-        f"{cores} core(s)"
+        f"{sharded_max_abs_diff:.3g}, max |resident - serial| "
+        f"{resident_max_abs_diff:.3g}; serial {serial_seconds:.2f}s, "
+        f"resident({N_SHARDS} workers, spawn {spawn_seconds:.2f}s) "
+        f"{resident_seconds:.2f}s over {ROUNDS} rounds -> "
+        f"{speedup:.2f}x on {cores} core(s)"
         + ("" if threshold_enforced else " [skipped_low_cores]")
     )
 
@@ -163,9 +213,14 @@ def test_sharded_skip_exactness_and_speedup():
     assert skip_result.skipped_shards > 0, "corner queries skipped no shard"
     assert skip_rate >= 0.5, f"expected most shards to skip, got {skip_rate}"
     assert sharded_max_abs_diff <= 1e-9
-    assert serial_warm.plans == serial.plans
+    assert resident_max_abs_diff == 0.0, (
+        f"resident pool diverged from serial by {resident_max_abs_diff:.3g}"
+    )
+    assert pool_stats["restarts"] == 0, "workers crashed during the bench"
+    for r, s in zip(resident_rounds, serial_rounds):
+        assert r.plans == s.plans and r.bounds == s.bounds
     if threshold_enforced:
         assert speedup >= SPEEDUP_FLOOR, (
-            f"sharded fan-out only {speedup:.2f}x at n_jobs={N_JOBS} "
-            f"on {cores} cores"
+            f"resident fan-out only {speedup:.2f}x over {ROUNDS} rounds "
+            f"with {N_SHARDS} workers on {cores} cores"
         )

@@ -44,6 +44,7 @@ import numpy as np
 from .core.frequency_matrix import FrequencyMatrix
 from .datagen import get_city, gaussian_matrix, grid_substrate, zipf_matrix
 from .engine import (
+    SHARD_EXECUTORS,
     AsyncBatchEngine,
     Engine,
     EngineConfig,
@@ -180,6 +181,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def _serve_engine(args: argparse.Namespace) -> Engine:
     """The engine ``serve`` fronts: sanitized dataset or bench substrate."""
     config = _engine_config(args)
+    # Dedicated serve flags layer on top of --engine-config / env vars
+    # (most specific wins), mirroring the loadtest harness's knobs.
+    if getattr(args, "shard_executor", None):
+        config = config.with_overrides(shard_executor=args.shard_executor)
+    if getattr(args, "n_shards", None) is not None:
+        config = config.with_overrides(n_shards=args.n_shards)
     if args.bench_substrate is not None:
         private = grid_substrate(
             shape=(args.bench_shape,) * 2,
@@ -371,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "tests that verify exactness out-of-process")
     p_srv.add_argument("--bench-shape", type=int, default=256,
                        help="square side of the bench substrate matrix")
+    p_srv.add_argument("--shard-executor", default=None,
+                       choices=list(SHARD_EXECUTORS),
+                       help="how sharded batches execute: 'serial' "
+                            "in-process, or 'resident' through a "
+                            "persistent shard-worker pool over "
+                            "shared-memory shards (selects the sharded "
+                            "plan; shorthand for the engine-config field)")
+    p_srv.add_argument("--n-shards", type=int, default=None,
+                       help="partition-axis shard count for the sharded "
+                            "plan (shorthand for the engine-config field)")
     _add_engine_config_arg(p_srv)
 
     return parser

@@ -56,12 +56,14 @@ from .sharding import (
     shard_bounds,
     split_shards,
 )
+from .shm import AttachedShard, ShmShardLayout, ShmShardSpec
 from .partition import Partition, Partitioning, grid_boxes, split_interval
 from .prefix_sum import PrefixSumTable
 from .private_matrix import PrivateFrequencyMatrix
 from .sparse import SparseFrequencyMatrix
 
 __all__ = [
+    "AttachedShard",
     "BudgetError",
     "Box",
     "DEFAULT_N_SHARDS",
@@ -87,6 +89,8 @@ __all__ = [
     "ReproError",
     "SHARD_SKIPPED",
     "ShardedAnswer",
+    "ShmShardLayout",
+    "ShmShardSpec",
     "SparseFrequencyMatrix",
     "ValidationError",
     "answer_sharded",

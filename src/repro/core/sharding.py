@@ -124,6 +124,31 @@ class PartitionShard:
             validate=False,
         )
 
+    @classmethod
+    def from_packed(
+        cls, packed: PackedPartitioning, start: int, stop: int
+    ) -> "PartitionShard":
+        """Wrap an already-sliced sub-partitioning as a shard.
+
+        Used by the shared-memory attach path
+        (:meth:`repro.core.shm.ShmShardSpec.attach`), where the shard's
+        :class:`~repro.core.packed.PackedPartitioning` is rebuilt from
+        zero-copy segment views rather than sliced from a parent.
+        ``start``/``stop`` only label the shard's position on the
+        parent partition axis; ``packed`` must already hold exactly
+        those rows.
+        """
+        if stop - start != packed.n_partitions:
+            raise QueryError(
+                f"shard range [{start}, {stop}) does not match the "
+                f"{packed.n_partitions} supplied partitions"
+            )
+        shard = object.__new__(cls)
+        shard.start = int(start)
+        shard.stop = int(stop)
+        shard.packed = packed
+        return shard
+
     @property
     def n_partitions(self) -> int:
         return self.packed.n_partitions

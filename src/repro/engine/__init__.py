@@ -18,6 +18,11 @@ sanitized :class:`~repro.core.PrivateFrequencyMatrix`:
 * :class:`EngineServer` — the stdlib asyncio HTTP transport
   (``POST /v1/query`` / ``GET /healthz`` / ``GET /statz``) with
   backpressure, timeouts, and graceful drain;
+* :class:`ShardWorkerPool` — the resident shard-worker pool behind
+  ``EngineConfig(shard_executor="resident")``: one persistent process
+  per partition shard attached zero-copy to a shared-memory segment,
+  with heartbeat, crash restart, and exactly-once segment cleanup (see
+  ``docs/WORKERS.md``);
 * :class:`ServingClient` / :class:`AsyncServingClient` — matching HTTP
   clients that rebuild full :class:`QueryAnswer` objects; non-2xx
   answers raise :class:`ServingError`.
@@ -30,12 +35,14 @@ as deprecated shims over :class:`Engine`.
 from .api import QueryAnswer, QueryRequest
 from .async_batch import AsyncBatchEngine, gather_answers
 from .client import AsyncServingClient, ServingClient, ServingError
-from .config import ENGINE_PLANS, EngineConfig
+from .config import ENGINE_PLANS, SHARD_EXECUTORS, EngineConfig
 from .engine import Engine
 from .server import EngineServer
+from .worker_pool import ShardWorkerPool
 
 __all__ = [
     "ENGINE_PLANS",
+    "SHARD_EXECUTORS",
     "AsyncBatchEngine",
     "AsyncServingClient",
     "Engine",
@@ -45,5 +52,6 @@ __all__ = [
     "QueryRequest",
     "ServingClient",
     "ServingError",
+    "ShardWorkerPool",
     "gather_answers",
 ]

@@ -52,14 +52,23 @@ ENGINE_PLANS = (PLAN_DENSE,) + PACKED_PLANS
 #: Environment-variable prefix for :meth:`EngineConfig.from_env`.
 ENV_PREFIX = "REPRO_ENGINE_"
 
+#: Named shard-execution modes accepted as ``shard_executor`` strings.
+#: ``"serial"`` answers the shards in-process; ``"resident"`` routes
+#: through a persistent :class:`~repro.engine.ShardWorkerPool` over
+#: shared-memory shards.  Live ordered-``map`` executor objects remain
+#: accepted programmatically.
+SHARD_EXECUTORS = ("serial", "resident")
+
 #: Fields settable from strings (CLI ``--engine-config`` / env vars),
-#: with their coercions.  ``shard_executor`` is deliberately absent: an
-#: executor is a live object, not a serializable setting.
+#: with their coercions.  ``shard_executor`` accepts the named modes in
+#: :data:`SHARD_EXECUTORS`; live executor objects can still be passed
+#: as keyword arguments, just not spelled as strings.
 #: Fields in :data:`_OPTIONAL_FIELDS` additionally accept ``none``.
-_OPTIONAL_FIELDS = frozenset({"plan", "n_shards"})
+_OPTIONAL_FIELDS = frozenset({"plan", "n_shards", "shard_executor"})
 _STRING_FIELDS: Dict[str, type] = {
     "plan": str,
     "n_shards": int,
+    "shard_executor": str,
     "dense_switch_factor": float,
     "dense_switch_max_cells": int,
     "prune_min_partitions": int,
@@ -87,10 +96,16 @@ class EngineConfig:
         Partition-axis shard count; setting it selects the sharded
         plan, like ``answer_arrays(n_shards=...)`` always did.
     shard_executor:
-        Ordered-``map`` provider fanning shard partials out (e.g.
-        :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`);
-        setting it alone also selects the sharded plan.  Not picklable
-        in general — leave ``None`` inside process-pool trial workers.
+        How shard partials are executed; setting it alone also selects
+        the sharded plan.  Accepts the named modes ``"serial"``
+        (in-process, same as ``None`` with ``n_shards`` set) and
+        ``"resident"`` (a persistent
+        :class:`~repro.engine.ShardWorkerPool` whose per-shard worker
+        processes attach shared-memory shards and survive across
+        requests), or any ordered-``map`` provider object (e.g.
+        :class:`~repro.experiments.parallel.ProcessPoolTrialExecutor`).
+        Executor objects are not picklable in general — leave ``None``
+        inside process-pool trial workers.
     dense_switch_factor / dense_switch_max_cells:
         The dense prefix-sum switch: densify when ``q * k`` exceeds
         ``dense_switch_factor * n_cells`` and the matrix has at most
@@ -131,6 +146,15 @@ class EngineConfig:
         if self.n_shards is not None and self.n_shards < 1:
             raise QueryError(
                 f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if (
+            isinstance(self.shard_executor, str)
+            and self.shard_executor not in SHARD_EXECUTORS
+        ):
+            raise QueryError(
+                f"unknown shard_executor {self.shard_executor!r}; named "
+                f"modes: {', '.join(repr(m) for m in SHARD_EXECUTORS)} "
+                f"(or pass an ordered-map executor object)"
             )
         for attr in ("dense_switch_factor", "prune_overhead_pairs",
                      "prune_safety_factor"):

@@ -15,8 +15,10 @@ schemas in ``docs/SERVING.md``):
   never re-orders or re-reduces anything.
 * ``GET /healthz`` — liveness; 200 while serving, 503 while draining.
 * ``GET /statz`` — monotone serving counters plus gauges: latency
-  percentiles, tick-size distribution, queue depth, and the event-loop
-  lag measured by :class:`LoopLagMonitor`.
+  percentiles, tick-size distribution, queue depth, the event-loop
+  lag measured by :class:`LoopLagMonitor`, and — when the engine runs a
+  resident :class:`~repro.engine.ShardWorkerPool` — worker gauges
+  (alive count, restarts, queue depth, per-worker batch counts).
 
 **Off-loop kernels.**  With ``off_loop=True`` (the default) each
 flushed tick's engine invocation is dispatched through
@@ -257,6 +259,14 @@ class EngineServer:
             max_batch_latency=self._max_batch_latency,
             executor=self._executor if self.off_loop else None,
         )
+        # Spawn the resident shard-worker pool (when configured) before
+        # accepting traffic: workers fork from this thread, not from a
+        # tick thread mid-request, and the first query pays no spawn
+        # latency.  No-op for other executors; guarded with getattr so
+        # duck-typed engine stand-ins keep working.
+        warm = getattr(self.engine, "warm_shard_pool", None)
+        if warm is not None:
+            warm()
         self._draining = False
         self._started_at = time.time()
         self.monitor.start()
@@ -282,6 +292,12 @@ class EngineServer:
         if self._own_executor and self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        # After the tick executor is gone no kernel can touch the pool;
+        # stop its workers and unlink the shm segment (idempotent, and
+        # a no-op for non-resident executors).
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
         for writer in tuple(self._connections):
             writer.close()
 
@@ -580,4 +596,8 @@ class EngineServer:
                 "max_lag_ms": 1e3 * self.monitor.max_lag,
                 "beats": self.monitor.beats,
             },
+            # Resident shard-worker gauges (null unless the engine is
+            # running a ShardWorkerPool): alive count, restarts, queue
+            # depth, per-worker batch counts.
+            "workers": getattr(self.engine, "pool_stats", lambda: None)(),
         }

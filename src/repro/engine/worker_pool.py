@@ -1,0 +1,631 @@
+"""Resident shard-worker pool: persistent processes over shm shards.
+
+``BENCH_sharded.json`` showed why per-call fan-out loses: every
+``ProcessPoolTrialExecutor`` round pays process spawn plus pickling the
+full shard arrays, which swamps the kernel time it was supposed to
+parallelize.  :class:`ShardWorkerPool` fixes the cost model by making
+both prices one-time:
+
+* **Arrays** — the shards' packed ``lo``/``hi``/``noisy_counts`` and
+  interval-index buffers live in one shared-memory segment
+  (:class:`~repro.core.shm.ShmShardLayout`), built once per matrix.
+  Workers attach zero-copy views; a restarted worker re-attaches the
+  *still-live* segment instead of receiving a fresh copy.
+* **Processes** — one worker per shard, spawned once, answering query
+  batches over request/response queues until shutdown.  Per request
+  only the ``(q, d)`` bound arrays and the ``(q,)`` partial cross the
+  queues.
+
+Protocol frames (full tables in ``docs/WORKERS.md``)::
+
+    parent -> worker   ("batch", batch_id, lows, highs)
+                       ("ping", token)
+                       ("crash_next",)            # test hook
+                       ("stop",)
+    worker -> parent   ("ready", shard_id, pid)   # warmup handshake
+                       ("done", shard_id, batch_id, partial, plan)
+                       ("error", shard_id, batch_id, traceback)
+                       ("pong", shard_id, token, batches_done)
+
+Determinism: a worker executes the *same*
+:meth:`~repro.core.sharding.PartitionShard.partial` the serial path
+runs, over buffer-identical arrays, with the same
+:class:`~repro.core.interval_index.PlanCost`; the parent merges
+partials as a fixed-order sum in shard order.  Workers never consult
+(or re-derive) any RNG state — a shard answer is pure arithmetic over
+the shm arrays — so pool answers are **bit-identical** to
+``shard_executor="serial"``, and the equivalence suite asserts exactly
+that (``==``, not a tolerance).
+
+Lifecycle: spawn + ready handshake (:meth:`ShardWorkerPool.__init__`),
+per-worker heartbeat (:meth:`ShardWorkerPool.ping`), automatic restart
+of a crashed worker with the in-flight batch retried once
+(:meth:`ShardWorkerPool.answer`), then a clean
+:class:`~repro.engine.ServingError`; :meth:`ShardWorkerPool.shutdown`
+is idempotent and unlinks the segment exactly once.  A
+:func:`weakref.finalize` net tears down workers and segment if a pool
+is dropped without shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+import traceback
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.interval_index import PlanCost
+from ..core.sharding import SHARD_SKIPPED, ShardedAnswer
+from ..core.shm import ShmShardLayout, ShmShardSpec
+from .client import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.packed import PackedPartitioning
+
+#: Seconds a freshly spawned worker gets to attach its shard and send
+#: the ``ready`` handshake before the pool declares it failed.
+DEFAULT_WARMUP_TIMEOUT = 60.0
+
+#: Seconds the pool waits for one shard's partial before declaring the
+#: batch failed (a worker that is alive but silent for this long is
+#: indistinguishable from a livelocked one).
+DEFAULT_BATCH_TIMEOUT = 120.0
+
+#: Poll interval while waiting on a worker's response queue; each miss
+#: re-checks worker liveness, which is what turns a kill -9 into a
+#: restart instead of a hang.
+_POLL_INTERVAL = 0.05
+
+#: Exit code of the ``crash_next`` test hook, distinguishable from a
+#: real kill in worker post-mortems.
+_CRASH_EXIT_CODE = 117
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap spawn, POSIX), else spawn.
+
+    Either way the shard arrays arrive via the shm segment, not via
+    inherited memory — fork only saves the interpreter+numpy import.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _worker_main(
+    spec: ShmShardSpec,
+    shard_id: int,
+    cost: PlanCost | None,
+    request_queue,
+    response_queue,
+) -> None:
+    """One resident worker: attach the shm shard, answer until told to stop.
+
+    Module-level so the spawn start method can import it by name.  The
+    body deliberately touches no RNG (global or otherwise): everything
+    it computes is a deterministic function of the shm arrays and the
+    batch bounds, which is what makes pool answers bit-identical to
+    serial execution.
+    """
+    attached = spec.attach(shard_id)
+    batches_done = 0
+    crash_next = False
+    try:
+        response_queue.put(("ready", shard_id, os.getpid()))
+        while True:
+            frame = request_queue.get()
+            kind = frame[0]
+            if kind == "stop":
+                return
+            if kind == "ping":
+                response_queue.put(
+                    ("pong", shard_id, frame[1], batches_done)
+                )
+            elif kind == "crash_next":
+                # Test hook: die *mid-batch* (after dequeue, before
+                # reply), the exact window the restart logic covers.
+                crash_next = True
+            elif kind == "batch":
+                _, batch_id, lows, highs = frame
+                if crash_next:
+                    os._exit(_CRASH_EXIT_CODE)
+                try:
+                    partial, plan = attached.shard.partial(
+                        lows, highs, cost
+                    )
+                except BaseException:
+                    response_queue.put(
+                        (
+                            "error",
+                            shard_id,
+                            batch_id,
+                            traceback.format_exc(),
+                        )
+                    )
+                else:
+                    batches_done += 1
+                    response_queue.put(
+                        ("done", shard_id, batch_id, partial, plan)
+                    )
+    finally:
+        attached.close()
+
+
+class _Worker:
+    """Parent-side handle: process + its private queue pair + gauges."""
+
+    __slots__ = (
+        "shard_id",
+        "process",
+        "request_queue",
+        "response_queue",
+        "batches",
+        "restarts",
+    )
+
+    def __init__(self, shard_id, process, request_queue, response_queue):
+        self.shard_id = shard_id
+        self.process = process
+        self.request_queue = request_queue
+        self.response_queue = response_queue
+        self.batches = 0
+        self.restarts = 0
+
+    def discard_queues(self) -> None:
+        """Drop this life's queues (a restart gets a fresh pair, so a
+        dead worker's half-written frames can never leak into the next
+        life's responses)."""
+        for q in (self.request_queue, self.response_queue):
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - torn down
+                pass
+
+
+def _finalize_pool(layout: ShmShardLayout, workers: List[_Worker]) -> None:
+    """GC safety net: kill workers, then release the segment."""
+    for worker in workers:
+        if worker.process.is_alive():
+            worker.process.terminate()
+    for worker in workers:
+        worker.process.join(timeout=5.0)
+        worker.discard_queues()
+    layout.close()
+
+
+class ShardWorkerPool:
+    """Persistent per-shard worker processes answering query batches.
+
+    Parameters
+    ----------
+    packed:
+        The partition-backed matrix to shard (its cached
+        ``split_shards`` result seeds the shm layout, so pool and
+        serial execution share the very same shard arrays).
+    n_shards:
+        Worker/shard count (clipped to the partition count, like every
+        sharded path).  ``None`` uses
+        :data:`~repro.core.sharding.DEFAULT_N_SHARDS`.
+    cost:
+        Per-shard :class:`~repro.core.interval_index.PlanCost`, shipped
+        to each worker once so pooled and serial planning are
+        identical.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` override; default
+        prefers fork where the platform has it.
+    warmup_timeout / batch_timeout:
+        Handshake and per-shard response deadlines (seconds).
+
+    The pool is thread-safe (one internal lock serializes dispatch) and
+    usable as a context manager; :meth:`shutdown` is idempotent.
+    """
+
+    def __init__(
+        self,
+        packed: "PackedPartitioning",
+        n_shards: int | None = None,
+        *,
+        cost: PlanCost | None = None,
+        start_method: str | None = None,
+        warmup_timeout: float = DEFAULT_WARMUP_TIMEOUT,
+        batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+    ):
+        self._layout = ShmShardLayout(packed, n_shards)
+        self._spec = self._layout.spec
+        self._cost = cost
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else _preferred_context()
+        )
+        self._warmup_timeout = float(warmup_timeout)
+        self._batch_timeout = float(batch_timeout)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._restarts_total = 0
+        self._next_batch_id = 0
+        self._inflight = 0
+        # Mutated in place on restart — the finalizer holds this exact
+        # list, so it always sees the current processes.
+        self._workers: List[_Worker] = []
+        self._finalizer = weakref.finalize(
+            self, _finalize_pool, self._layout, self._workers
+        )
+        try:
+            for shard_id in range(self._spec.n_shards):
+                self._workers.append(self._spawn_worker(shard_id))
+            for worker in self._workers:
+                self._await_ready(worker)
+        except BaseException:
+            self._finalizer()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self._spec.n_shards
+
+    @property
+    def bounds(self) -> Tuple[Tuple[int, int], ...]:
+        return self._spec.bounds
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def layout(self) -> ShmShardLayout:
+        return self._layout
+
+    @property
+    def restarts(self) -> int:
+        """Total worker restarts over the pool's lifetime."""
+        return self._restarts_total
+
+    def stats(self) -> Dict[str, object]:
+        """Worker gauges for ``/statz``: liveness, restarts, depth,
+        per-worker batch counts."""
+        return {
+            "n_workers": self.n_shards,
+            "alive": sum(
+                1 for w in self._workers if w.process.is_alive()
+            ),
+            "restarts": self._restarts_total,
+            "queue_depth": self._inflight,
+            "worker_batches": [w.batches for w in self._workers],
+            "worker_restarts": [w.restarts for w in self._workers],
+            "pids": [w.process.pid for w in self._workers],
+            "segment_bytes": self._layout.nbytes,
+            "closed": self._closed,
+        }
+
+    def ping(self, timeout: float = 5.0) -> List[bool]:
+        """Heartbeat every worker; ``True`` per worker that answered.
+
+        A dead or silent worker reads ``False`` — it is *not* restarted
+        here (restart is the dispatch path's job, where the in-flight
+        batch context exists); the next :meth:`answer` will revive it.
+        """
+        with self._lock:
+            self._ensure_open()
+            token = f"ping-{time.monotonic_ns()}"
+            alive: List[bool] = []
+            for worker in self._workers:
+                if not worker.process.is_alive():
+                    alive.append(False)
+                    continue
+                try:
+                    worker.request_queue.put(("ping", token))
+                except (OSError, ValueError):
+                    alive.append(False)
+                    continue
+                alive.append(self._await_pong(worker, token, timeout))
+            return alive
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer(self, lows: np.ndarray, highs: np.ndarray) -> ShardedAnswer:
+        """Fan a validated batch out to the workers; merge fixed-order.
+
+        Same contract as :func:`repro.core.sharding.answer_sharded`
+        with this pool's shard layout: identical bounds, identical
+        per-shard plans, and a merge that sums partials in shard order,
+        so the answers are bit-identical to serial execution.  A worker
+        found dead is restarted from the live shm segment before
+        dispatch; a worker dying mid-batch triggers one restart + retry
+        of that shard's batch, after which the failure surfaces as a
+        :class:`~repro.engine.ServingError` (status 503).
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        q = int(lows.shape[0])
+        with self._lock:
+            self._ensure_open()
+            if q == 0:
+                # Mirror answer_sharded: evidence without dispatch.
+                return ShardedAnswer(
+                    answers=np.zeros(0, dtype=np.float64),
+                    bounds=self.bounds,
+                    plans=(SHARD_SKIPPED,) * self.n_shards,
+                )
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            for shard_id in range(self.n_shards):
+                self._dispatch(shard_id, batch_id, lows, highs)
+            self._inflight = self.n_shards
+            try:
+                partials = []
+                for shard_id in range(self.n_shards):
+                    partials.append(
+                        self._collect(shard_id, batch_id, lows, highs)
+                    )
+                    self._inflight -= 1
+            finally:
+                self._inflight = 0
+        answers = np.zeros(q, dtype=np.float64)
+        plans: List[str] = []
+        for partial, plan in partials:
+            plans.append(plan)
+            if partial is not None:
+                answers += partial
+        return ShardedAnswer(
+            answers=answers, bounds=self.bounds, plans=tuple(plans)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: drain workers, unlink the segment exactly once.
+
+        Idempotent — a second call returns immediately.  Workers get a
+        ``stop`` frame and ``timeout`` seconds to exit before being
+        terminated; the segment is unlinked afterwards either way (the
+        layout's own guard makes the unlink exactly-once even against
+        the GC finalizer).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    try:
+                        worker.request_queue.put(("stop",))
+                    except (OSError, ValueError):
+                        pass
+            deadline = time.monotonic() + timeout
+            for worker in self._workers:
+                worker.process.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5.0)
+                worker.discard_queues()
+            self._finalizer.detach()  # cleanup is done; drop the net
+            self._layout.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardWorkerPool(shards={self.n_shards}, "
+            f"segment={self._layout.name!r}, closed={self._closed})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServingError(
+                503, {"error": "shard worker pool is shut down"}
+            )
+
+    def _spawn_worker(self, shard_id: int) -> _Worker:
+        request_queue = self._ctx.Queue()
+        response_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._spec,
+                shard_id,
+                self._cost,
+                request_queue,
+                response_queue,
+            ),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        return _Worker(shard_id, process, request_queue, response_queue)
+
+    def _await_ready(self, worker: _Worker) -> None:
+        deadline = time.monotonic() + self._warmup_timeout
+        while True:
+            try:
+                frame = worker.response_queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                if not worker.process.is_alive():
+                    raise ServingError(
+                        503,
+                        {
+                            "error": f"shard worker "
+                            f"{worker.shard_id} died during warmup "
+                            f"(exit code "
+                            f"{worker.process.exitcode})"
+                        },
+                    )
+                if time.monotonic() > deadline:
+                    raise ServingError(
+                        503,
+                        {
+                            "error": f"shard worker "
+                            f"{worker.shard_id} failed the warmup "
+                            f"handshake within "
+                            f"{self._warmup_timeout:g}s"
+                        },
+                    )
+                continue
+            if frame[0] == "ready" and frame[1] == worker.shard_id:
+                return
+
+    def _await_pong(
+        self, worker: _Worker, token: str, timeout: float
+    ) -> bool:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                frame = worker.response_queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                if (
+                    not worker.process.is_alive()
+                    or time.monotonic() > deadline
+                ):
+                    return False
+                continue
+            if frame[0] == "pong" and frame[2] == token:
+                return True
+            # Anything else on the queue here is stale (e.g. an older
+            # pong); keep draining until ours arrives or time is up.
+
+    def _restart_worker(self, shard_id: int) -> None:
+        """Replace a dead worker, re-attaching the still-live segment.
+
+        Fresh queues per life: frames from the previous incarnation can
+        never be read as answers from the new one.
+        """
+        old = self._workers[shard_id]
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+            old.process.join(timeout=5.0)
+        old.discard_queues()
+        replacement = self._spawn_worker(shard_id)
+        replacement.batches = old.batches
+        replacement.restarts = old.restarts + 1
+        self._workers[shard_id] = replacement
+        self._restarts_total += 1
+        try:
+            self._await_ready(replacement)
+        except ServingError as exc:
+            raise ServingError(
+                503,
+                {
+                    "error": f"shard worker {shard_id} could not be "
+                    f"restarted: "
+                    f"{exc.payload.get('error', str(exc))}"
+                },
+            ) from exc
+
+    def _dispatch(
+        self,
+        shard_id: int,
+        batch_id: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> None:
+        worker = self._workers[shard_id]
+        if not worker.process.is_alive():
+            # Died idle (e.g. kill -9 between requests): revive before
+            # send — this is a restart, not a retry.
+            self._restart_worker(shard_id)
+            worker = self._workers[shard_id]
+        try:
+            worker.request_queue.put(("batch", batch_id, lows, highs))
+        except (OSError, ValueError) as exc:
+            raise ServingError(
+                503,
+                {
+                    "error": f"could not dispatch to shard worker "
+                    f"{shard_id}: {exc}"
+                },
+            ) from exc
+
+    def _collect(
+        self,
+        shard_id: int,
+        batch_id: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        retried: bool = False,
+    ) -> Tuple[np.ndarray | None, str]:
+        worker = self._workers[shard_id]
+        deadline = time.monotonic() + self._batch_timeout
+        while True:
+            try:
+                frame = worker.response_queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                if not worker.process.is_alive():
+                    return self._retry(
+                        shard_id, batch_id, lows, highs, retried
+                    )
+                if time.monotonic() > deadline:
+                    raise ServingError(
+                        503,
+                        {
+                            "error": f"shard worker {shard_id} did "
+                            f"not answer batch {batch_id} within "
+                            f"{self._batch_timeout:g}s"
+                        },
+                    )
+                continue
+            kind = frame[0]
+            if kind == "done":
+                if frame[2] != batch_id:
+                    continue  # stale frame from an abandoned batch
+                worker.batches += 1
+                return frame[3], frame[4]
+            if kind == "error":
+                if frame[2] != batch_id:
+                    continue
+                raise ServingError(
+                    500,
+                    {
+                        "error": f"shard worker {shard_id} failed "
+                        f"batch {batch_id}",
+                        "traceback": frame[3],
+                    },
+                )
+            # "pong"/"ready" stragglers: ignore and keep waiting.
+
+    def _retry(
+        self,
+        shard_id: int,
+        batch_id: int,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        retried: bool,
+    ) -> Tuple[np.ndarray | None, str]:
+        """Crash mid-batch: restart once and re-run, then give up."""
+        exitcode = self._workers[shard_id].process.exitcode
+        if retried:
+            raise ServingError(
+                503,
+                {
+                    "error": f"shard worker {shard_id} crashed twice "
+                    f"answering batch {batch_id} (last exit code "
+                    f"{exitcode}); giving up after one retry"
+                },
+            )
+        self._restart_worker(shard_id)
+        self._dispatch(shard_id, batch_id, lows, highs)
+        return self._collect(
+            shard_id, batch_id, lows, highs, retried=True
+        )

@@ -1,4 +1,4 @@
-"""Cross-plan equivalence matrix: dense ≡ broadcast ≡ pruned ≡ sharded.
+"""Cross-plan equivalence: dense ≡ broadcast ≡ pruned ≡ sharded ≡ resident.
 
 Every strategy the engine can route a batch through must compute the
 same answers — the plan is a choice of *route*, never of *result*.  The
@@ -8,6 +8,16 @@ sanitizers emit (uniform grid, AG, quadtree, kd-tree, DAF), shard counts
 ``REPRO_TEST_N_SHARDS`` env var — the CI leg sets 3), and the degenerate
 inputs that historically break query engines: empty batches, full-domain
 queries, single cells, and shard counts exceeding the partition count.
+
+The sixth column is the resident shard-worker pool
+(``shard_executor="resident"``, :class:`~repro.engine.ShardWorkerPool`):
+worker processes answering over shared-memory shards must be
+**bit-identical** to serial sharded evaluation — asserted with
+``assert_array_equal``, not a tolerance — because the workers read the
+very same shard arrays through shm, do no RNG work of their own, and
+the parent merges partials in fixed shard order.  The CI resident leg
+re-runs this module with ``REPRO_ENGINE_SHARD_EXECUTOR=resident`` (see
+``test_env_forced_executor_is_exercised``).
 
 All routing goes through the :mod:`repro.engine` facade (an
 :class:`~repro.engine.Engine` per forced
@@ -67,6 +77,10 @@ _env = os.environ.get("REPRO_TEST_N_SHARDS")
 ENV_N_SHARDS = int(_env) if _env else None
 if ENV_N_SHARDS is not None and ENV_N_SHARDS not in SHARD_COUNTS:
     SHARD_COUNTS.append(ENV_N_SHARDS)
+
+#: The CI resident leg forces the shard executor the same way, so the
+#: worker-pool column runs against the env-forced K on every push.
+ENV_SHARD_EXECUTOR = os.environ.get("REPRO_ENGINE_SHARD_EXECUTOR") or None
 
 
 def engine_answers(private, lows, highs, **config):
@@ -335,6 +349,90 @@ class TestShardExecutors:
         )
         packed.answer_sharded_arrays(lows, highs, n_shards=4)
         assert packed.split_shards(4) is first
+
+
+class TestResidentPool:
+    """Sixth column: the resident shm worker pool ≡ serial, bit for bit.
+
+    Workers answer over shared-memory views of the *same* shard arrays
+    the serial path reads and never touch RNG state, so the comparison
+    is exact equality (``assert_array_equal``) — any nonzero diff means
+    a worker re-derived something it should have shared.
+    """
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_resident_matches_serial_across_shard_counts(self, method):
+        private = sanitized_private(method, (28, 26), 11, 13, 0.5)
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (28, 26), np.random.default_rng(2), n_random=15
+            )
+        )
+        for n_shards in SHARD_COUNTS:
+            serial = sharded_evidence(
+                private, lows, highs, n_shards=n_shards, executor="serial"
+            )
+            engine = Engine(
+                private,
+                EngineConfig(n_shards=n_shards, shard_executor="resident"),
+            )
+            try:
+                resident = engine.answer_sharded(lows, highs)
+                # The facade route reuses the same (already-warm) pool.
+                answer = engine.answer(QueryRequest(lows, highs))
+            finally:
+                engine.close()
+            np.testing.assert_array_equal(
+                resident.answers, serial.answers,
+                err_msg=f"resident(K={n_shards}, {method}) != serial",
+            )
+            assert resident.plans == serial.plans
+            assert resident.bounds == serial.bounds
+            np.testing.assert_array_equal(answer.answers, serial.answers)
+            assert answer.plan == PLAN_SHARDED
+            assert answer.shard_plans == serial.plans
+
+    def test_resident_empty_batch_reports_skips_without_dispatch(self):
+        private = grid_private(shape=(16, 16), m=4)
+        empty = np.empty((0, 2), dtype=np.int64)
+        engine = Engine(
+            private, EngineConfig(n_shards=3, shard_executor="resident")
+        )
+        try:
+            result = engine.answer_sharded(empty, empty)
+            assert result.answers.size == 0
+            assert result.skipped_shards == result.n_shards == 3
+            stats = engine.pool_stats()
+            assert stats["worker_batches"] == [0, 0, 0]  # never dispatched
+        finally:
+            engine.close()
+
+    @pytest.mark.skipif(
+        ENV_SHARD_EXECUTOR is None,
+        reason="REPRO_ENGINE_SHARD_EXECUTOR not set",
+    )
+    def test_env_forced_executor_is_exercised(self):
+        """The CI resident leg's env-forced executor flows end to end."""
+        private = sanitized_private("quadtree", (24, 24), 9, 7, 0.5)
+        lows, highs = boxes_to_arrays(
+            degenerate_and_random_queries(
+                (24, 24), np.random.default_rng(6), n_random=10
+            )
+        )
+        config = EngineConfig.from_env()
+        assert config.shard_executor == ENV_SHARD_EXECUTOR
+        engine = Engine(private, config)
+        try:
+            answer = engine.answer(QueryRequest(lows, highs))
+        finally:
+            engine.close()
+        assert answer.plan == PLAN_SHARDED  # executor alone selects it
+        np.testing.assert_allclose(
+            answer.answers,
+            engine_answers(private, lows, highs, plan=PLAN_BROADCAST),
+            rtol=0,
+            atol=1e-9,
+        )
 
 
 class TestForcedPrunedFallback:

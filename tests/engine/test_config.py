@@ -12,7 +12,7 @@ from repro.core.private_matrix import (
     DENSE_SWITCH_FACTOR,
     DENSE_SWITCH_MAX_CELLS,
 )
-from repro.engine import ENGINE_PLANS, EngineConfig
+from repro.engine import ENGINE_PLANS, SHARD_EXECUTORS, EngineConfig
 
 
 class TestDefaultsAndValidation:
@@ -36,6 +36,8 @@ class TestDefaultsAndValidation:
     def test_sharding_knobs_imply_sharded_only(self):
         assert EngineConfig(n_shards=3).wants_sharding
         assert EngineConfig(shard_executor=object()).wants_sharding
+        assert EngineConfig(shard_executor="serial").wants_sharding
+        assert EngineConfig(shard_executor="resident").wants_sharding
         assert EngineConfig(plan="sharded", n_shards=3).n_shards == 3
         with pytest.raises(QueryError, match="sharded"):
             EngineConfig(plan="broadcast", n_shards=3)
@@ -110,13 +112,32 @@ class TestStringOverrides:
 
     @pytest.mark.parametrize("text,match", [
         ("plan", "key=value"),
-        ("shard_executor=x", "unknown engine-config field"),
         ("bogus=1", "unknown engine-config field"),
         ("n_shards=lots", "bad value"),
     ])
     def test_malformed_rejected(self, text, match):
         with pytest.raises(ValidationError, match=match):
             EngineConfig.parse_overrides(text)
+
+    @pytest.mark.parametrize("mode", SHARD_EXECUTORS)
+    def test_shard_executor_named_modes_parse(self, mode):
+        config = EngineConfig.from_string(f"shard_executor={mode}")
+        assert config.shard_executor == mode
+        assert config.wants_sharding  # executor alone selects sharding
+
+    def test_shard_executor_unknown_name_rejected(self):
+        # Parses (it's a known string field) but fails config
+        # validation, like an unknown plan name.
+        with pytest.raises(QueryError, match="unknown shard_executor"):
+            EngineConfig.from_string("shard_executor=turbo")
+        with pytest.raises(QueryError, match="unknown shard_executor"):
+            EngineConfig(shard_executor="turbo")
+
+    def test_shard_executor_cleared_with_none(self):
+        base = EngineConfig(shard_executor="resident")
+        cleared = EngineConfig.from_string("shard_executor=none", base=base)
+        assert cleared.shard_executor is None
+        assert not cleared.wants_sharding
 
 
 class TestEnvOverrides:
